@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Offline measurement/analysis split, plus before/after diffing.
+
+HPCToolkit separates measurement (hpcrun, which writes per-thread profile
+files on the production machine) from analysis (hpcprof/hpcviewer, run
+later, anywhere). This example exercises the same split in the
+reproduction:
+
+1. "on the cluster": run the program twice — baseline and optimized —
+   saving each profile archive to disk;
+2. "on the laptop": load the archives back, verify the analysis is
+   byte-equivalent, diff the two profiles, and inspect the interconnect
+   traffic matrices.
+
+Run:  python examples/offline_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ExecutionEngine,
+    IBS,
+    NumaAnalysis,
+    NumaProfiler,
+    NumaTuning,
+    diff_profiles,
+    load_archive,
+    merge_profiles,
+    presets,
+    save_archive,
+    traffic_matrix_view,
+)
+from repro.workloads import PartitionedSweep
+
+
+def measure(tuning, path: Path):
+    """The measurement half: profile a run and write the archive."""
+    machine = presets.generic(n_domains=4, cores_per_domain=4)
+    profiler = NumaProfiler(IBS(period=512))
+    engine = ExecutionEngine(
+        machine,
+        PartitionedSweep(tuning, n_elems=800_000, steps=4),
+        16,
+        monitor=profiler,
+    )
+    result = engine.run()
+    save_archive(profiler.archive, path)
+    return result
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="numaprof_"))
+    print(f"measurement phase — archives under {workdir}\n")
+
+    base_result = measure(None, workdir / "baseline.json")
+    opt_result = measure(
+        NumaTuning(parallel_init={"data"}), workdir / "optimized.json"
+    )
+
+    print("analysis phase — loading archives back\n")
+    before = merge_profiles(load_archive(workdir / "baseline.json"))
+    after = merge_profiles(load_archive(workdir / "optimized.json"))
+
+    lpi = NumaAnalysis(before).program_lpi()
+    print(f"baseline lpi_NUMA from the loaded archive: {lpi:.3f}\n")
+
+    diff = diff_profiles(before, after)
+    print(diff.render())
+
+    print("\ninterconnect traffic, baseline:")
+    print(traffic_matrix_view(base_result))
+    print("\ninterconnect traffic, optimized:")
+    print(traffic_matrix_view(opt_result))
+
+    speedup = base_result.wall_seconds / opt_result.wall_seconds - 1
+    print(f"\nwall-clock effect of the change: {speedup:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""UMT2013 case study (paper Section 8.4, Figure 10).
+
+Runs the radiation-transport proxy on the POWER7 machine with 32 threads
+spread across its four NUMA domains, sampling L3-miss events with MRK.
+MRK measures no latencies, so the whole analysis runs on the M_l / M_r
+derived metrics — the paper's demonstration that the workflow survives
+without latency support.
+
+The hot variable is ``STime``: a 3-D array whose (Groups, Corners)
+planes, indexed by Angle, are swept by threads round-robin
+(``source = Z%STotal(ig,c) + Z%STime(ig,c,Angle)``). Its staggered
+address-centric pattern plus the first-touch record point to the fix:
+parallelize STime's initialization so each thread first-touches exactly
+the planes it sweeps. Paper: +7% whole-program.
+
+Run:  python examples/umt_case_study.py        (~15 s)
+"""
+
+from repro import (
+    BindingPolicy,
+    ExecutionEngine,
+    MRK,
+    NumaAnalysis,
+    NumaProfiler,
+    NumaTuning,
+    address_centric_view,
+    classify_ranges,
+    first_touch_view,
+    merge_profiles,
+    presets,
+)
+from repro.runtime.heap import VariableKind
+from repro.workloads import UMT2013
+
+THREADS = 32
+
+
+def main() -> None:
+    print("== UMT2013 on IBM POWER7 (32 threads across 4 domains, MRK) ==\n")
+
+    baseline = ExecutionEngine(
+        presets.power7(), UMT2013(), THREADS, binding=BindingPolicy.SCATTER
+    ).run()
+    profiler = NumaProfiler(MRK(max_rate=2e6))
+    engine = ExecutionEngine(
+        presets.power7(), UMT2013(), THREADS, monitor=profiler,
+        binding=BindingPolicy.SCATTER,
+    )
+    engine.run()
+    merged = merge_profiles(profiler.archive)
+    analysis = NumaAnalysis(merged)
+
+    print(f"lpi_NUMA available? {analysis.program_lpi()} "
+          "(MRK measures no latency: analysis uses M_l / M_r)")
+    print(f"remote fraction of sampled L3 misses: "
+          f"{analysis.program_remote_fraction():.0%}  (paper: 86%)")
+    print(f"heap variables' share of remote accesses: "
+          f"{analysis.kind_share(VariableKind.HEAP):.0%}  (paper: 47%)\n")
+
+    stime = analysis.variable_summary("STime")
+    print(f"STime: {stime.remote_access_share:.1%} of remote accesses "
+          "(paper: 18.2%)")
+    rep = classify_ranges(merged.var("STime").normalized_ranges())
+    print(f"pattern: {rep.pattern.value} — like Blackscholes' buffer "
+          "(paper's comparison)\n")
+    print(address_centric_view(merged, "STime", width=56))
+    print("\n(angle planes assigned round-robin: thread t owns planes")
+    print(" t, t+32, t+64, ... — min/max summaries stagger and overlap)\n")
+    print(first_touch_view(merged, "STime"))
+
+    # The fix: each thread first-touches its own planes.
+    tuning = NumaTuning(parallel_init={"STime"})
+    optimized = ExecutionEngine(
+        presets.power7(), UMT2013(tuning), THREADS,
+        binding=BindingPolicy.SCATTER,
+    ).run()
+    gain = baseline.wall_seconds / optimized.wall_seconds - 1
+    print(f"\nparallelized STime initialization: {gain:+.1%} whole-program "
+          "(paper: +7%)")
+
+
+if __name__ == "__main__":
+    main()

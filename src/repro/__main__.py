@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro``.
+
+Profiles one of the bundled workloads on a chosen machine preset, prints
+the three analysis views and the advisor's recommendations, and
+optionally applies them and reports the speedup — the whole paper
+workflow from one command.
+
+Examples::
+
+    python -m repro lulesh                      # Section 8.1 on Magny-Cours
+    python -m repro amg --optimize              # Section 8.2 + apply fixes
+    python -m repro umt --machine power7 --mechanism MRK --threads 32 \\
+        --binding scatter
+    python -m repro sweep --threads 16 --machine generic
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    ExecutionEngine,
+    NumaAnalysis,
+    NumaProfiler,
+    advise,
+    apply_advice,
+    address_centric_view,
+    code_centric_view,
+    data_centric_view,
+    first_touch_view,
+    merge_profiles,
+    presets,
+)
+from repro.runtime.thread import BindingPolicy
+from repro.sampling import create_mechanism
+from repro.workloads import (
+    AMG2006,
+    Blackscholes,
+    CentralHotspot,
+    Lulesh,
+    PartitionedSweep,
+    UMT2013,
+)
+
+#: name -> (program factory, default preset, default threads, default mech).
+WORKLOADS = {
+    "lulesh": (Lulesh, "magny_cours", 48, "IBS"),
+    "amg": (AMG2006, "magny_cours", 48, "IBS"),
+    "blackscholes": (Blackscholes, "magny_cours", 48, "IBS"),
+    "umt": (UMT2013, "power7", 32, "MRK"),
+    "sweep": (PartitionedSweep, "generic", 16, "IBS"),
+    "hotspot": (CentralHotspot, "generic", 16, "IBS"),
+}
+
+#: Analysis-density sampling periods per mechanism (simulated runs are
+#: far shorter than the paper's; see EXPERIMENTS.md).
+ANALYSIS_PERIODS = {
+    "IBS": 4096, "PEBS": 4096, "DEAR": 64, "PEBS-LL": 64,
+    "Soft-IBS": 256, "MRK": 1,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NUMA-bottleneck analysis of a bundled workload "
+        "(HPCToolkit-NUMA reproduction).",
+    )
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--machine", default=None,
+                        help="machine preset (default: workload's paper host)")
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--mechanism", default=None,
+                        choices=["IBS", "MRK", "PEBS", "DEAR", "PEBS-LL",
+                                 "Soft-IBS"])
+    parser.add_argument("--binding", default="compact",
+                        choices=["compact", "scatter"])
+    parser.add_argument("--period", type=int, default=None,
+                        help="sampling period override")
+    parser.add_argument("--top", type=int, default=6,
+                        help="variables to show in the data-centric view")
+    parser.add_argument("--var", default=None,
+                        help="variable for the address-centric view "
+                        "(default: hottest)")
+    parser.add_argument("--optimize", action="store_true",
+                        help="apply the advisor's tuning and re-run")
+    parser.add_argument("--report", action="store_true",
+                        help="print the combined four-pane report instead "
+                        "of individual views")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    program_cls, default_preset, default_threads, default_mech = WORKLOADS[
+        args.workload
+    ]
+    preset_name = args.machine or default_preset
+    threads = args.threads or default_threads
+    mech_name = args.mechanism or default_mech
+    period = args.period or ANALYSIS_PERIODS[mech_name]
+    binding = BindingPolicy[args.binding.upper()]
+    machine_factory = presets.PRESETS[preset_name]
+
+    kwargs = {"max_rate": 2e6} if mech_name == "MRK" else {}
+    mechanism = create_mechanism(mech_name, period, **kwargs)
+
+    print(f"workload {args.workload} on {preset_name} with {threads} "
+          f"threads, {mech_name} period {period}\n")
+
+    baseline = ExecutionEngine(
+        machine_factory(), program_cls(), threads, binding=binding
+    ).run()
+    profiler = NumaProfiler(mechanism)
+    engine = ExecutionEngine(
+        machine_factory(), program_cls(), threads, monitor=profiler,
+        binding=binding,
+    )
+    monitored = engine.run()
+    print(f"baseline {baseline.wall_seconds * 1e3:.2f} ms simulated; "
+          f"monitoring overhead "
+          f"{monitored.wall_seconds / baseline.wall_seconds - 1:+.1%}; "
+          f"remote DRAM fraction {baseline.remote_dram_fraction:.0%}\n")
+
+    merged = merge_profiles(profiler.archive)
+    analysis = NumaAnalysis(merged)
+    if args.report:
+        from repro.analysis import full_report
+
+        print(full_report(merged, focus_var=args.var, top=args.top))
+        return _advise_and_optimize(args, machine_factory, program_cls,
+                                    threads, binding, engine, analysis,
+                                    baseline)
+    lpi = analysis.program_lpi()
+    if lpi is not None:
+        verdict = "optimize" if lpi > 0.1 else "not worth optimizing"
+        print(f"lpi_NUMA = {lpi:.3f} ({verdict}; threshold 0.1)\n")
+    else:
+        print(f"lpi_NUMA unavailable ({mech_name} measures no latency); "
+              f"remote fraction of sampled accesses = "
+              f"{analysis.program_remote_fraction():.0%}\n")
+
+    print(code_centric_view(merged, max_depth=3))
+    print()
+    print(data_centric_view(merged, top=args.top))
+    print()
+    hot = analysis.hot_variables(top=1)
+    var = args.var or (hot[0].name if hot else None)
+    if var:
+        print(address_centric_view(merged, var, width=56))
+        print()
+        print(first_touch_view(merged, var))
+        print()
+
+    return _advise_and_optimize(
+        args, machine_factory, program_cls, threads, binding, engine,
+        analysis, baseline,
+    )
+
+
+def _advise_and_optimize(
+    args, machine_factory, program_cls, threads, binding, engine, analysis,
+    baseline,
+) -> int:
+    advice = advise(
+        analysis, thread_domains={t.tid: t.domain for t in engine.threads}
+    )
+    print(f"advisor: {advice.rationale}")
+    for rec in advice.recommendations:
+        print(f"  -> {rec.rationale}")
+
+    if args.optimize and advice.worth_optimizing:
+        tuning = apply_advice(advice, machine_factory().n_domains)
+        optimized = ExecutionEngine(
+            machine_factory(), program_cls(tuning), threads, binding=binding
+        ).run()
+        gain = baseline.wall_seconds / optimized.wall_seconds - 1
+        print(f"\napplied: {tuning.describe()}")
+        print(f"optimized run: {optimized.wall_seconds * 1e3:.2f} ms "
+              f"({gain:+.1%}); remote DRAM fraction "
+              f"{optimized.remote_dram_fraction:.0%}")
+    elif args.optimize:
+        print("\nadvisor found nothing worth applying — baseline kept.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Offline analysis (hpcprof/hpcviewer analogue), paper Section 7.2.
+
+* :mod:`repro.analysis.merge` — combine per-thread profiles; counters sum,
+  address ranges use the custom [min, max] reduction.
+* :mod:`repro.analysis.analyzer` — derived metrics over the merged data:
+  program/region/variable lpi_NUMA, hot-variable ranking, latency shares.
+* :mod:`repro.analysis.patterns` — classify per-thread access patterns
+  (blocked, staggered-overlap, uniform, irregular).
+* :mod:`repro.analysis.advisor` — turn analysis into actionable NUMA
+  optimization recommendations.
+* :mod:`repro.analysis.views` — the three presentation views, including
+  the address-centric plot of per-thread [min, max] ranges.
+"""
+
+from repro.analysis.merge import MergedProfile, MergedVar, merge_profiles, merge_ranges
+from repro.analysis.io import load_archive, save_archive
+from repro.analysis.diff import ProfileDiff, VariableDelta, diff_profiles
+from repro.analysis.report import full_report
+from repro.analysis.analyzer import NumaAnalysis
+from repro.analysis.patterns import AccessPattern, classify_ranges
+from repro.analysis.advisor import Action, Recommendation, advise
+from repro.analysis.views import (
+    AddressCentricSeries,
+    address_centric_series,
+    address_centric_view,
+    code_centric_view,
+    data_centric_view,
+    first_touch_view,
+    region_table_view,
+    traffic_matrix_view,
+)
+
+__all__ = [
+    "MergedProfile",
+    "MergedVar",
+    "merge_profiles",
+    "merge_ranges",
+    "load_archive",
+    "save_archive",
+    "ProfileDiff",
+    "VariableDelta",
+    "diff_profiles",
+    "full_report",
+    "NumaAnalysis",
+    "AccessPattern",
+    "classify_ranges",
+    "Action",
+    "Recommendation",
+    "advise",
+    "AddressCentricSeries",
+    "address_centric_series",
+    "address_centric_view",
+    "code_centric_view",
+    "data_centric_view",
+    "first_touch_view",
+    "region_table_view",
+    "traffic_matrix_view",
+]

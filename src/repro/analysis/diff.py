@@ -1,0 +1,110 @@
+"""Profile diffing: did the optimization do what the tool predicted?
+
+After applying a NUMA fix, the natural follow-up measurement is a second
+profile; :func:`diff_profiles` compares two merged profiles of the same
+program (baseline vs. optimized) and reports, per variable and overall,
+how the NUMA metrics moved — remote fractions, M_r/M_l ratios, lpi.
+This closes the paper's workflow loop quantitatively: e.g. after the
+LULESH fix, z's remote fraction collapses and the program lpi falls
+below the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.analyzer import NumaAnalysis
+from repro.analysis.merge import MergedProfile
+from repro.profiler.metrics import MetricNames, mismatch_ratio, remote_fraction
+
+
+@dataclass(frozen=True)
+class VariableDelta:
+    """Metric movement for one variable between two profiles."""
+
+    name: str
+    remote_fraction_before: float
+    remote_fraction_after: float
+    mismatch_before: float
+    mismatch_after: float
+    samples_before: float
+    samples_after: float
+
+    @property
+    def remote_fraction_delta(self) -> float:
+        """Negative = less remote traffic after the change."""
+        return self.remote_fraction_after - self.remote_fraction_before
+
+
+@dataclass(frozen=True)
+class ProfileDiff:
+    """Whole-program and per-variable comparison of two profiles."""
+
+    program: str
+    lpi_before: float | None
+    lpi_after: float | None
+    remote_before: float
+    remote_after: float
+    variables: tuple[VariableDelta, ...]
+
+    def variable(self, name: str) -> VariableDelta:
+        """Delta for one variable."""
+        for v in self.variables:
+            if v.name == name:
+                return v
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Human-readable diff table."""
+        lines = [f"profile diff — {self.program}"]
+        if self.lpi_before is not None and self.lpi_after is not None:
+            lines.append(
+                f"  lpi_NUMA: {self.lpi_before:.3f} -> {self.lpi_after:.3f}"
+            )
+        lines.append(
+            f"  remote sample fraction: {self.remote_before:.1%} -> "
+            f"{self.remote_after:.1%}"
+        )
+        header = f"  {'variable':<18}{'remote before':>14}{'after':>9}{'Mr/Ml before':>14}{'after':>9}"
+        lines.append(header)
+        for v in self.variables:
+            mb = "inf" if v.mismatch_before == float("inf") else f"{v.mismatch_before:.1f}"
+            ma = "inf" if v.mismatch_after == float("inf") else f"{v.mismatch_after:.1f}"
+            lines.append(
+                f"  {v.name:<18}{v.remote_fraction_before:>13.1%}"
+                f"{v.remote_fraction_after:>9.1%}{mb:>14}{ma:>9}"
+            )
+        return "\n".join(lines)
+
+
+def diff_profiles(before: MergedProfile, after: MergedProfile) -> ProfileDiff:
+    """Compare two merged profiles of the same program."""
+    an_b, an_a = NumaAnalysis(before), NumaAnalysis(after)
+    names = sorted(set(before.vars) | set(after.vars))
+    deltas = []
+    for name in names:
+        mb = before.vars.get(name)
+        ma = after.vars.get(name)
+        deltas.append(
+            VariableDelta(
+                name=name,
+                remote_fraction_before=remote_fraction(mb.metrics) if mb else 0.0,
+                remote_fraction_after=remote_fraction(ma.metrics) if ma else 0.0,
+                mismatch_before=mismatch_ratio(mb.metrics) if mb else 0.0,
+                mismatch_after=mismatch_ratio(ma.metrics) if ma else 0.0,
+                samples_before=(
+                    mb.metrics.get(MetricNames.SAMPLES, 0.0) if mb else 0.0
+                ),
+                samples_after=(
+                    ma.metrics.get(MetricNames.SAMPLES, 0.0) if ma else 0.0
+                ),
+            )
+        )
+    return ProfileDiff(
+        program=before.program,
+        lpi_before=an_b.program_lpi(),
+        lpi_after=an_a.program_lpi(),
+        remote_before=an_b.program_remote_fraction(),
+        remote_after=an_a.program_remote_fraction(),
+        variables=tuple(deltas),
+    )

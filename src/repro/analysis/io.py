@@ -1,0 +1,206 @@
+"""Profile archive serialization.
+
+The real tool's measurement side (hpcrun) writes one profile file per
+thread; the analyzer (hpcprof) reads them back postmortem. This module
+provides the same separation for the simulated tool: a
+:class:`~repro.profiler.profile_data.ProfileArchive` round-trips through
+a single JSON document (human-inspectable, dependency-free), so
+measurement and analysis can run in different processes or sessions.
+
+Capabilities are stored field-by-field; CCTs are stored as flattened
+(path, metrics) rows; per-variable range arrays keep their (n_bins+1, 2)
+shape. ``load_archive(save_archive(a))`` reproduces every quantity the
+analyzer consumes — validated by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.profiler.cct import CCT
+from repro.profiler.profile_data import (
+    FirstTouchRecord,
+    ProfileArchive,
+    ThreadProfile,
+    VarRecord,
+)
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.heap import VariableKind
+from repro.sampling.base import MechanismCapabilities
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+# encoding helpers
+# ---------------------------------------------------------------------- #
+
+def _loc(frame: SourceLoc) -> list:
+    return [frame.func, frame.file, frame.line]
+
+
+def _unloc(row: list) -> SourceLoc:
+    return SourceLoc(row[0], row[1], row[2])
+
+
+def _path(path) -> list:
+    return [_loc(f) for f in path]
+
+
+def _unpath(rows) -> tuple:
+    return tuple(_unloc(r) for r in rows)
+
+
+def _cct(cct: CCT) -> list:
+    rows = []
+    for node in cct.root.walk():
+        if node.metrics:
+            rows.append([_path(node.path()), dict(node.metrics)])
+    return rows
+
+
+def _uncct(rows) -> CCT:
+    cct = CCT()
+    for path_rows, metrics in rows:
+        cct.attribute(_unpath(path_rows), metrics)
+    return cct
+
+
+def _var_record(rec: VarRecord) -> dict:
+    return {
+        "name": rec.name,
+        "kind": rec.kind.value,
+        "alloc_path": _path(rec.alloc_path),
+        "base": rec.base,
+        "nbytes": rec.nbytes,
+        "n_bins": rec.n_bins,
+        "metrics": dict(rec.metrics),
+        "bins": [dict(b.metrics) for b in rec.bins],
+        "ranges": [
+            [_path(path), arr.tolist()] for path, arr in rec.ranges.items()
+        ],
+    }
+
+
+def _unvar_record(data: dict) -> VarRecord:
+    rec = VarRecord.__new__(VarRecord)
+    rec.name = data["name"]
+    rec.kind = VariableKind(data["kind"])
+    rec.alloc_path = _unpath(data["alloc_path"])
+    rec.base = data["base"]
+    rec.nbytes = data["nbytes"]
+    rec.n_bins = data["n_bins"]
+    from collections import defaultdict
+
+    rec.metrics = defaultdict(float, data["metrics"])
+    from repro.profiler.profile_data import BinRecord
+
+    rec.bins = []
+    for i, metrics in enumerate(data["bins"]):
+        b = BinRecord(i)
+        b.metrics.update(metrics)
+        rec.bins.append(b)
+    rec.ranges = {
+        _unpath(p): np.array(arr, dtype=np.float64)
+        for p, arr in data["ranges"]
+    }
+    return rec
+
+
+def _first_touch(ft: FirstTouchRecord) -> dict:
+    return {
+        "var_name": ft.var_name,
+        "tid": ft.tid,
+        "cpu": ft.cpu,
+        "domain": ft.domain,
+        "pages": ft.pages.tolist(),
+        "path": _path(ft.path),
+    }
+
+
+def _unfirst_touch(data: dict) -> FirstTouchRecord:
+    return FirstTouchRecord(
+        var_name=data["var_name"],
+        tid=data["tid"],
+        cpu=data["cpu"],
+        domain=data["domain"],
+        pages=np.array(data["pages"], dtype=np.int64),
+        path=_unpath(data["path"]),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# public API
+# ---------------------------------------------------------------------- #
+
+def save_archive(archive: ProfileArchive, path: str | Path) -> Path:
+    """Write an archive as one JSON document; returns the path."""
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "program": archive.program,
+        "machine_desc": archive.machine_desc,
+        "n_domains": archive.n_domains,
+        "mechanism_name": archive.mechanism_name,
+        "capabilities": asdict(archive.capabilities)
+        if archive.capabilities is not None
+        else None,
+        "profiles": {
+            str(tid): {
+                "tid": p.tid,
+                "cpu": p.cpu,
+                "domain": p.domain,
+                "cct": _cct(p.cct),
+                "data_cct": _cct(p.data_cct),
+                "vars": {name: _var_record(r) for name, r in p.vars.items()},
+                "first_touches": [_first_touch(ft) for ft in p.first_touches],
+                "counters": dict(p.counters),
+            }
+            for tid, p in archive.profiles.items()
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def load_archive(path: str | Path) -> ProfileArchive:
+    """Read an archive written by :func:`save_archive`."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported archive format {doc.get('format_version')!r}"
+        )
+    caps = (
+        MechanismCapabilities(**doc["capabilities"])
+        if doc["capabilities"] is not None
+        else None
+    )
+    archive = ProfileArchive(
+        program=doc["program"],
+        machine_desc=doc["machine_desc"],
+        n_domains=doc["n_domains"],
+        mechanism_name=doc["mechanism_name"],
+        capabilities=caps,
+    )
+    for tid_str, pdoc in doc["profiles"].items():
+        profile = ThreadProfile(
+            tid=pdoc["tid"], cpu=pdoc["cpu"], domain=pdoc["domain"]
+        )
+        profile.cct = _uncct(pdoc["cct"])
+        profile.data_cct = _uncct(pdoc["data_cct"])
+        profile.vars = {
+            name: _unvar_record(r) for name, r in pdoc["vars"].items()
+        }
+        profile.first_touches = [
+            _unfirst_touch(ft) for ft in pdoc["first_touches"]
+        ]
+        profile.counters.update(pdoc["counters"])
+        archive.profiles[int(tid_str)] = profile
+    return archive

@@ -1,0 +1,17 @@
+"""Shared benchmark-harness helpers.
+
+The benchmark suite under ``benchmarks/`` regenerates every table and
+figure of the paper's evaluation; this package holds the pieces they
+share: a one-call workload runner, table formatting, and a results
+recorder that persists each experiment's measured values under
+``results/`` (the inputs to EXPERIMENTS.md).
+"""
+
+from repro.bench.harness import (
+    RunBundle,
+    fmt_table,
+    record_experiment,
+    run_workload,
+)
+
+__all__ = ["RunBundle", "fmt_table", "record_experiment", "run_workload"]

@@ -1,0 +1,30 @@
+"""Simulated NUMA machine substrate.
+
+This package models everything the paper's profiler observes from hardware
+and the OS: the NUMA topology (domains, cores, distances), physical frame
+allocation, the virtual page table with placement policies and protection
+bits, a cache hierarchy, interconnect/memory-controller contention, and the
+end-to-end latency model. :class:`~repro.machine.machine.Machine` is the
+facade tying these together; :mod:`repro.machine.presets` provides the five
+architectures from Table 1 of the paper.
+"""
+
+from repro.machine.topology import NumaTopology
+from repro.machine.pagetable import PageTable, PlacementPolicy
+from repro.machine.cache import CacheConfig, CacheHierarchy
+from repro.machine.interconnect import ContentionModel
+from repro.machine.latency import LatencyModel
+from repro.machine.machine import Machine
+from repro.machine import presets
+
+__all__ = [
+    "NumaTopology",
+    "PageTable",
+    "PlacementPolicy",
+    "CacheConfig",
+    "CacheHierarchy",
+    "ContentionModel",
+    "LatencyModel",
+    "Machine",
+    "presets",
+]

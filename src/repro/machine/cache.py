@@ -1,0 +1,182 @@
+"""Cache hierarchy model.
+
+The profiler does not need a cycle-accurate cache simulator; it needs a
+model that decides, per access, which level services it — because only
+accesses that reach memory (an "L3 miss" in the paper's MRK
+configuration) have a NUMA-relevant local/remote distinction and a NUMA
+latency — and how much of that memory latency is *exposed* to the core.
+
+The model is deterministic and vectorized, with three ingredients:
+
+1. **Intra-chunk temporal locality.** Within one access chunk, the first
+   occurrence of each cache line is a *line fetch*; repeats hit L1. A
+   unit-stride double sweep yields the classic ``elem/line = 1/8``
+   per-access fetch rate.
+
+2. **Inter-chunk reuse distance.** Each CPU keeps a running count of
+   bytes it has streamed; per (cpu, segment) the position of the last
+   visit is remembered. On revisit, the bytes streamed since — a
+   stack-distance approximation — decide whether the segment's lines are
+   still in L2, in L3, or evicted to DRAM. This is what makes
+   Blackscholes (small per-thread slices revisited every step) cache-
+   resident while LULESH (large multi-array per-thread footprint)
+   misses to DRAM every time step, matching the two papers' verdicts.
+
+3. **Prefetch exposure.** Sequential streams are largely covered by
+   hardware prefetchers: only a fraction of their DRAM fetches expose
+   full memory latency to the core (the rest arrive early and cost only
+   an L3-ish latency) — but *every* fetch still consumes memory-controller
+   bandwidth, and when a controller saturates, prefetching stops keeping
+   up and the exposed fraction rises toward 1. That coupling (handled in
+   :mod:`repro.machine.latency`) is the paper's Figure 1 story: a
+   centralized data distribution hurts even streaming code. Irregular
+   (indirect) access is not prefetchable and is always fully exposed —
+   which is why AMG2006 shows a larger lpi_NUMA than LULESH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import CACHE_LINE, first_occurrence_mask
+
+#: Service-level codes used across the simulator.
+LEVEL_L1 = 0
+LEVEL_L2 = 1
+LEVEL_L3 = 2
+LEVEL_DRAM = 3
+
+LEVEL_NAMES = {LEVEL_L1: "L1", LEVEL_L2: "L2", LEVEL_L3: "L3", LEVEL_DRAM: "DRAM"}
+
+#: Maximum forward byte-stride still considered a prefetchable stream.
+SEQUENTIAL_STRIDE_LIMIT = 256
+
+#: Fraction of consecutive address deltas that must look sequential for
+#: the chunk to count as prefetchable.
+SEQUENTIAL_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Capacities (bytes) and line size of one core's reachable hierarchy.
+
+    ``l3_bytes`` is the slice of the shared last-level cache a single
+    hardware thread can realistically keep resident (capacity / sharers
+    is a reasonable default in the presets).
+    """
+
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 512 * 1024
+    l3_bytes: int = 1 * 1024 * 1024
+    line_size: int = CACHE_LINE
+
+    def __post_init__(self) -> None:
+        if not (0 < self.l1_bytes <= self.l2_bytes <= self.l3_bytes):
+            raise ValueError(
+                "cache sizes must satisfy 0 < L1 <= L2 <= L3, got "
+                f"{self.l1_bytes}/{self.l2_bytes}/{self.l3_bytes}"
+            )
+        if self.line_size <= 0:
+            raise ValueError(f"line size must be positive, got {self.line_size}")
+
+
+@dataclass
+class ChunkClassification:
+    """Output of :meth:`CacheHierarchy.classify` for one chunk."""
+
+    levels: np.ndarray          # per-access service level codes
+    sequential: bool            # prefetchable stream?
+    footprint_bytes: int        # unique lines touched * line size
+
+    @property
+    def n_fetches(self) -> int:
+        """Line fetches that left L1 (L2 + L3 + DRAM services)."""
+        return int(np.count_nonzero(self.levels != LEVEL_L1))
+
+
+def is_sequential(addrs: np.ndarray) -> bool:
+    """Detect a prefetchable (mostly small-forward-stride) access stream."""
+    if addrs.size < 2:
+        return True
+    deltas = np.diff(addrs)
+    ok = (deltas >= 0) & (deltas <= SEQUENTIAL_STRIDE_LIMIT)
+    return bool(np.count_nonzero(ok) >= SEQUENTIAL_FRACTION * deltas.size)
+
+
+class CacheHierarchy:
+    """Per-machine cache state: which level services each access.
+
+    State: per-CPU streamed-byte counters and per-(cpu, segment) last
+    visit positions, implementing the reuse-distance approximation.
+    ``reset()`` clears everything (cold caches).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._stream_pos: dict[int, int] = {}
+        self._last_visit: dict[tuple[int, int, int], int] = {}
+
+    def reset(self) -> None:
+        """Forget all streaming state (cold caches)."""
+        self._stream_pos.clear()
+        self._last_visit.clear()
+
+    def classify(
+        self,
+        addrs: np.ndarray,
+        cpu: int,
+        seg_id: int,
+    ) -> ChunkClassification:
+        """Classify one chunk of accesses for one CPU.
+
+        Parameters
+        ----------
+        addrs: byte addresses of the accesses, in program order.
+        cpu: hardware thread performing them.
+        seg_id: segment (variable) identity for reuse-distance state.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        levels = np.full(addrs.shape, LEVEL_L1, dtype=np.uint8)
+        if addrs.size == 0:
+            return ChunkClassification(levels, True, 0)
+
+        lines = addrs // self.config.line_size
+        fetch = first_occurrence_mask(lines)
+        footprint = int(np.count_nonzero(fetch)) * self.config.line_size
+
+        pos = self._stream_pos.get(cpu, 0)
+        # Reuse state is keyed by (cpu, segment, L3-sized block within the
+        # segment): touching a *different* region of the same variable
+        # (e.g. the next angle plane of UMT's STime) is a compulsory miss,
+        # not a hot revisit.
+        block = int(addrs[0]) // max(self.config.l3_bytes, 1)
+        key = (cpu, seg_id, block)
+        last = self._last_visit.get(key)
+        if last is None:
+            fetch_level = LEVEL_DRAM  # compulsory: first visit ever
+        else:
+            distance = (pos - last) + footprint
+            if distance <= self.config.l2_bytes:
+                fetch_level = LEVEL_L2
+            elif distance <= self.config.l3_bytes:
+                fetch_level = LEVEL_L3
+            else:
+                fetch_level = LEVEL_DRAM
+        levels[fetch] = fetch_level
+
+        new_pos = pos + footprint
+        self._stream_pos[cpu] = new_pos
+        self._last_visit[key] = new_pos
+
+        return ChunkClassification(
+            levels=levels,
+            sequential=is_sequential(addrs),
+            footprint_bytes=footprint,
+        )
+
+    def level_counts(self, levels: np.ndarray) -> dict[str, int]:
+        """Histogram of service levels, keyed by level name."""
+        counts = np.bincount(levels, minlength=4)
+        return {LEVEL_NAMES[i]: int(counts[i]) for i in range(4)}

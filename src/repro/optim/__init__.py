@@ -1,0 +1,19 @@
+"""NUMA optimization transforms.
+
+Turns :mod:`repro.analysis.advisor` recommendations into concrete
+:class:`~repro.optim.policies.NumaTuning` configurations that the
+workloads understand: explicit placement policies (block-wise,
+interleaved), parallelized first-touch initialization, and data-layout
+regrouping — the three code changes the paper's case studies apply.
+"""
+
+from repro.optim.policies import NumaTuning, PlacementSpec, blockwise_all, interleave_all
+from repro.optim.transforms import apply_advice
+
+__all__ = [
+    "NumaTuning",
+    "PlacementSpec",
+    "blockwise_all",
+    "interleave_all",
+    "apply_advice",
+]

@@ -1,0 +1,43 @@
+"""The NUMA profiler: HPCToolkit-NUMA's online measurement side.
+
+:class:`~repro.profiler.profiler.NumaProfiler` attaches to the execution
+engine as a monitor. Per address sample it performs the three
+attributions of paper Section 5 — code-centric (calling context tree),
+data-centric (variables and their bins), address-centric (per-thread
+[min, max] ranges per context) — computes the NUMA metrics of Section 4,
+and pinpoints first touches via page-protection traps (Section 6).
+"""
+
+from repro.profiler.cct import CCT, CCTNode, DUMMY_ACCESS, DUMMY_FIRST_TOUCH
+from repro.profiler.metrics import MetricNames, lpi_numa, remote_fraction
+from repro.profiler.profile_data import (
+    BinRecord,
+    FirstTouchRecord,
+    ProfileArchive,
+    ThreadProfile,
+    VarRecord,
+)
+from repro.profiler.addresscentric import bin_count_for, bin_edges, bin_indices
+from repro.profiler.profiler import NumaProfiler
+from repro.profiler.timeline import CompositeMonitor, TimelineRecorder
+
+__all__ = [
+    "CCT",
+    "CCTNode",
+    "DUMMY_ACCESS",
+    "DUMMY_FIRST_TOUCH",
+    "MetricNames",
+    "lpi_numa",
+    "remote_fraction",
+    "BinRecord",
+    "FirstTouchRecord",
+    "ProfileArchive",
+    "ThreadProfile",
+    "VarRecord",
+    "bin_count_for",
+    "bin_edges",
+    "bin_indices",
+    "NumaProfiler",
+    "CompositeMonitor",
+    "TimelineRecorder",
+]

@@ -1,0 +1,80 @@
+"""Address-centric attribution helpers: bins and range tracking.
+
+Paper Section 5.2: a naive per-variable [min, max] is too coarse because
+accesses are non-uniform, so a variable's range is split into *bins*,
+each treated as a synthetic variable with its own attribution. The
+default splits variables larger than five pages into five bins; the bin
+count is configurable via the ``NUMAPROF_BINS`` environment variable —
+mirroring the paper's environment-variable knob.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.units import PAGE_SIZE
+
+#: Paper default: variables spanning more than this many pages get binned.
+BIN_PAGE_THRESHOLD = 5
+
+#: Paper default bin count.
+DEFAULT_BINS = 5
+
+#: Environment variable overriding the default bin count.
+BIN_ENV_VAR = "NUMAPROF_BINS"
+
+
+def configured_bins() -> int:
+    """Bin count from ``NUMAPROF_BINS`` (falls back to the default of 5)."""
+    raw = os.environ.get(BIN_ENV_VAR)
+    if raw is None:
+        return DEFAULT_BINS
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_BINS
+    return value if value >= 1 else DEFAULT_BINS
+
+
+def bin_count_for(nbytes: int, page_size: int = PAGE_SIZE, n_bins: int | None = None) -> int:
+    """How many bins a variable of ``nbytes`` gets.
+
+    Variables at or below the five-page threshold stay unbinned (one bin).
+    """
+    if n_bins is None:
+        n_bins = configured_bins()
+    if nbytes <= BIN_PAGE_THRESHOLD * page_size:
+        return 1
+    return max(int(n_bins), 1)
+
+
+def bin_edges(base: int, nbytes: int, n_bins: int) -> np.ndarray:
+    """Byte-address edges of ``n_bins`` equal sub-ranges of a variable.
+
+    Returns ``n_bins + 1`` ascending addresses from ``base`` to
+    ``base + nbytes``.
+    """
+    return base + np.linspace(0, nbytes, n_bins + 1).astype(np.int64)
+
+
+def bin_indices(addrs: np.ndarray, base: int, nbytes: int, n_bins: int) -> np.ndarray:
+    """Map absolute addresses into bin indices ``[0, n_bins)``."""
+    rel = np.asarray(addrs, dtype=np.int64) - base
+    idx = (rel * n_bins) // max(nbytes, 1)
+    return np.clip(idx, 0, n_bins - 1)
+
+
+def normalized_range(
+    lo: int, hi: int, base: int, nbytes: int
+) -> tuple[float, float]:
+    """Normalize an absolute [lo, hi] access range into [0, 1] of a variable.
+
+    This is the normalization the hpcviewer address-centric pane applies
+    ("the address range for a variable is normalized to the interval
+    [0, 1]", paper Section 7.2).
+    """
+    if nbytes <= 0:
+        return (0.0, 0.0)
+    return ((lo - base) / nbytes, (hi - base) / nbytes)

@@ -1,0 +1,271 @@
+"""The online NUMA profiler (hpcrun analogue), paper Section 7.1.
+
+``NumaProfiler`` plugs into the execution engine as a monitor and, per
+executed chunk:
+
+1. asks its sampling mechanism which accesses are sampled,
+2. resolves each sample's address to a variable through the data-centric
+   registry (the ``move_pages``-backed page-domain query happened in the
+   machine layer and arrives as the sample's target domain),
+3. computes M_l / M_r / per-domain counts (Section 4.1) and, when the
+   mechanism supports it, latency metrics for lpi_NUMA (Section 4.2),
+4. attributes everything three ways (Section 5): code-centric to the CCT
+   at the sample's call path, data-centric to the variable and its bins,
+   address-centric to per-(variable, context) [min, max] ranges, and
+5. charges the mechanism's measurement cost to the thread — making
+   monitoring overhead observable in simulated wall-clock time (Table 2).
+
+First touches are pinpointed by page protection (Section 6): allocation
+hooks protect heap variables' interior pages, and the engine's trap path
+lands in :meth:`NumaProfiler.on_first_touch`, which performs both code-
+and data-centric attribution of the faulting context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProfileError
+from repro.machine.cache import LEVEL_DRAM
+from repro.profiler.cct import DUMMY_ACCESS, DUMMY_FIRST_TOUCH
+from repro.profiler.datacentric import VariableRegistry
+from repro.profiler.metrics import MetricNames
+from repro.profiler.profile_data import (
+    FirstTouchRecord,
+    ProfileArchive,
+    ThreadProfile,
+)
+from repro.runtime.callstack import CallPath
+from repro.runtime.chunks import AccessChunk
+from repro.runtime.engine import ExecutionEngine, Monitor, RunResult
+from repro.runtime.heap import Variable, VariableKind
+from repro.runtime.program import Region
+from repro.sampling.base import SamplingMechanism
+
+
+class NumaProfiler(Monitor):
+    """Measurement-side monitor collecting per-thread NUMA profiles.
+
+    Parameters
+    ----------
+    mechanism:
+        The address-sampling mechanism to drive (see :mod:`repro.sampling`).
+    n_bins:
+        Bin count override for address-centric binning (default: the
+        ``NUMAPROF_BINS`` environment variable, else 5).
+    protect_heap / protect_static / protect_stack:
+        Which variable kinds get first-touch page protection. The paper
+        implements heap protection and lists static (at load time) and
+        stack support as future work; all three are available here.
+    """
+
+    #: Trap-handler cost per faulting page (attribution + re-mprotect),
+    #: scaled to the simulation's shortened run length like the engine's
+    #: TRAP_BASE_COST.
+    FIRST_TOUCH_HANDLER_COST = 25.0
+
+    def __init__(
+        self,
+        mechanism: SamplingMechanism,
+        *,
+        n_bins: int | None = None,
+        protect_heap: bool = True,
+        protect_static: bool = False,
+        protect_stack: bool = False,
+    ) -> None:
+        self.mechanism = mechanism
+        self.n_bins = n_bins
+        self.protect_heap = protect_heap
+        self.protect_static = protect_static
+        self.protect_stack = protect_stack
+        self.registry = VariableRegistry()
+        self.archive: ProfileArchive | None = None
+        self._engine: ExecutionEngine | None = None
+
+    # ------------------------------------------------------------------ #
+    # Monitor hooks
+    # ------------------------------------------------------------------ #
+
+    def on_run_start(self, engine: ExecutionEngine) -> None:
+        """Configure the mechanism and allocate per-thread profiles."""
+        self._engine = engine
+        machine = engine.machine
+        self.mechanism.configure(machine)
+        self.archive = ProfileArchive(
+            program=engine.program.name,
+            machine_desc=machine.describe(),
+            n_domains=machine.n_domains,
+            mechanism_name=self.mechanism.name,
+            capabilities=self.mechanism.capabilities,
+        )
+        for t in engine.threads:
+            self.archive.profiles[t.tid] = ThreadProfile(
+                tid=t.tid, cpu=t.cpu, domain=t.domain
+            )
+
+    def on_alloc(self, var: Variable) -> None:
+        """Track the variable and protect its pages for first touch."""
+        self.registry.register(var)
+        should_protect = (
+            (var.kind is VariableKind.HEAP and self.protect_heap)
+            or (var.kind is VariableKind.STATIC and self.protect_static)
+            or (var.kind is VariableKind.STACK and self.protect_stack)
+        )
+        if should_protect and self._engine is not None:
+            self._engine.machine.page_table.protect_range(var.base, var.nbytes)
+
+    def on_free(self, var: Variable) -> None:
+        """Stop resolving addresses to a freed variable."""
+        self.registry.unregister(var)
+
+    def on_first_touch(
+        self, tid: int, cpu: int, var: Variable, pages: np.ndarray, path: CallPath
+    ) -> float:
+        """The SIGSEGV handler: record and attribute the first touch."""
+        profile = self._profile(tid)
+        record = FirstTouchRecord(
+            var_name=var.name,
+            tid=tid,
+            cpu=cpu,
+            domain=self._engine.machine.topology.domain_of_cpu(cpu),
+            pages=np.array(pages, dtype=np.int64),
+            path=path,
+        )
+        profile.first_touches.append(record)
+        # Code-centric: the faulting context; data-centric: hang the first
+        # touch under the variable's allocation path behind a dummy node.
+        profile.cct.attribute(path, {"FIRST_TOUCH_PAGES": float(record.n_pages)})
+        mixed = var.alloc_path + (DUMMY_FIRST_TOUCH,) + path
+        profile.data_cct.attribute(mixed, {"FIRST_TOUCH_PAGES": float(record.n_pages)})
+        return self.FIRST_TOUCH_HANDLER_COST * record.n_pages
+
+    def on_chunk(
+        self,
+        tid: int,
+        cpu: int,
+        chunk: AccessChunk,
+        levels: np.ndarray,
+        target_domains: np.ndarray,
+        latencies: np.ndarray,
+        path: CallPath,
+    ) -> float:
+        """Sample the chunk and attribute code-, data-, address-centric."""
+        profile = self._profile(tid)
+        batch = self.mechanism.select(tid, chunk, levels, target_domains, latencies)
+        caps = self.mechanism.capabilities
+
+        profile.counters["instructions"] += chunk.n_instructions
+        profile.counters["accesses"] += chunk.n_accesses
+        profile.counters["samples"] += batch.n_samples
+        profile.counters["sampled_instructions"] += batch.n_sampled_instructions
+        profile.counters["events"] += batch.n_events_total
+
+        metrics: dict[str, float] = {
+            MetricNames.INSTR: float(chunk.n_instructions),
+            MetricNames.SAMPLED_INSTR: float(batch.n_sampled_instructions),
+        }
+
+        # Absolute remote-event counter (conventional PMU counter running
+        # alongside sampling; available on counting-capable mechanisms).
+        if caps.counts_absolute_events and chunk.n_accesses:
+            thread_domain = profile.domain
+            remote_events = int(
+                np.count_nonzero(
+                    (levels == LEVEL_DRAM) & (target_domains != thread_domain)
+                )
+            )
+            metrics[MetricNames.EVENTS_NUMA] = float(remote_events)
+
+        if batch.n_samples == 0:
+            self._attribute_code(profile, path, metrics)
+            return self.mechanism.cost_cycles(batch, chunk)
+
+        idx = batch.indices
+        s_addrs = chunk.addrs[idx]
+        s_targets = target_domains[idx]
+        s_lat = latencies[idx]
+        remote = s_targets != profile.domain
+
+        metrics[MetricNames.SAMPLES] = float(batch.n_samples)
+        metrics[MetricNames.NUMA_MATCH] = float(np.count_nonzero(~remote))
+        metrics[MetricNames.NUMA_MISMATCH] = float(np.count_nonzero(remote))
+        dom_counts = np.bincount(
+            s_targets, minlength=self._engine.machine.n_domains
+        )
+        for d in np.nonzero(dom_counts)[0]:
+            metrics[MetricNames.numa_node(int(d))] = float(dom_counts[d])
+        if caps.measures_latency and batch.latency_captured:
+            metrics[MetricNames.LAT_TOTAL] = float(s_lat.sum())
+            metrics[MetricNames.LAT_REMOTE] = float(s_lat[remote].sum())
+
+        self._attribute_code(profile, path, metrics)
+        self._attribute_data(profile, chunk, path, s_addrs, metrics)
+        return self.mechanism.cost_cycles(batch, chunk)
+
+    def on_run_end(self, result: RunResult) -> None:
+        """Attach the run's timing result to the archive."""
+        if self.archive is not None:
+            self.archive.run_result = result
+
+    # ------------------------------------------------------------------ #
+
+    def _profile(self, tid: int) -> ThreadProfile:
+        if self.archive is None:
+            raise ProfileError("profiler used before on_run_start")
+        return self.archive.profiles[tid]
+
+    def _attribute_code(
+        self, profile: ThreadProfile, path: CallPath, metrics: dict[str, float]
+    ) -> None:
+        profile.cct.attribute(path, metrics)
+
+    def _attribute_data(
+        self,
+        profile: ThreadProfile,
+        chunk: AccessChunk,
+        path: CallPath,
+        s_addrs: np.ndarray,
+        metrics: dict[str, float],
+    ) -> None:
+        # Resolve through the registry (the real tool's heap/symbol map);
+        # ground truth (chunk.var) is only used as a consistency check.
+        var = self.registry.resolve_addrs(s_addrs)
+        if chunk.var is not None and var.name != chunk.var.name:
+            raise ProfileError(
+                f"data-centric resolution found {var.name!r} but ground truth "
+                f"is {chunk.var.name!r}"
+            )
+        rec = profile.var_record(var, n_bins=self.n_bins)
+        for name, value in metrics.items():
+            rec.metrics[name] += value
+        bins = rec.record_samples(path, s_addrs)
+        self._attribute_bins(rec, bins, s_addrs, profile, metrics)
+        # Augmented CCT: variable costs under allocation path + dummy +
+        # access path (mixed calling-context sequence, Section 7.1).
+        mixed = var.alloc_path + (DUMMY_ACCESS,) + path
+        profile.data_cct.attribute(mixed, metrics)
+
+    def _attribute_bins(
+        self,
+        rec,
+        bins: np.ndarray,
+        s_addrs: np.ndarray,
+        profile: ThreadProfile,
+        metrics: dict[str, float],
+    ) -> None:
+        # Per-bin sample counts scale the shareable metrics; latency and
+        # match/mismatch are attributed by each sample's own bin.
+        n = float(len(s_addrs))
+        counts = np.bincount(bins, minlength=rec.n_bins)
+        for b in np.nonzero(counts)[0]:
+            share = counts[b] / n
+            bin_rec = rec.bins[int(b)]
+            for name in (
+                MetricNames.SAMPLES,
+                MetricNames.NUMA_MATCH,
+                MetricNames.NUMA_MISMATCH,
+                MetricNames.LAT_TOTAL,
+                MetricNames.LAT_REMOTE,
+            ):
+                if name in metrics:
+                    bin_rec.metrics[name] += metrics[name] * share

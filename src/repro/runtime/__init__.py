@@ -1,0 +1,36 @@
+"""Simulated multithreaded execution substrate.
+
+Programs are expressed as sequences of *regions* (serial or parallel);
+each region's kernel emits vectorized :class:`~repro.runtime.chunks.AccessChunk`
+streams per thread. The :class:`~repro.runtime.engine.ExecutionEngine`
+drives the chunks through the machine's memory system in lockstep steps
+(so contention is computed from the aggregate traffic of all concurrently
+running threads), accounts simulated cycles, and invokes monitoring hooks
+that the profiler attaches to.
+"""
+
+from repro.runtime.callstack import SourceLoc, CallStack
+from repro.runtime.chunks import AccessChunk
+from repro.runtime.thread import SimThread, BindingPolicy, bind_threads
+from repro.runtime.heap import HeapAllocator, Variable, VariableKind
+from repro.runtime.program import Program, Region, ProgramContext, RegionKind
+from repro.runtime.engine import ExecutionEngine, Monitor, RunResult
+
+__all__ = [
+    "SourceLoc",
+    "CallStack",
+    "AccessChunk",
+    "SimThread",
+    "BindingPolicy",
+    "bind_threads",
+    "HeapAllocator",
+    "Variable",
+    "VariableKind",
+    "Program",
+    "Region",
+    "RegionKind",
+    "ProgramContext",
+    "ExecutionEngine",
+    "Monitor",
+    "RunResult",
+]

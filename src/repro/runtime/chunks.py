@@ -1,0 +1,126 @@
+"""Access chunks: the vectorized unit of simulated execution.
+
+A chunk represents the memory traffic and instruction count of one
+array-reference site executed over many loop iterations — e.g. "this
+thread's slice of the sweep over ``z`` in ``CalcPosition``". Keeping
+thousands of accesses per chunk lets the whole simulator run as NumPy
+array operations (see the hpc-parallel guides: vectorize the hot loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProgramError
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.heap import Variable
+
+
+@dataclass
+class AccessChunk:
+    """Memory accesses plus surrounding instructions for one access site.
+
+    Attributes
+    ----------
+    var:
+        The variable the addresses fall in (``None`` for pure-compute
+        chunks with no memory traffic).
+    addrs:
+        Absolute byte addresses, in program order.
+    n_instructions:
+        Total instructions this chunk represents, *including* the memory
+        instructions. Must be >= ``len(addrs)``.
+    ip:
+        Precise source coordinate of the access site (code-centric
+        attribution target).
+    is_store:
+        Whether the accesses are writes (first touch by a store is what
+        binds pages in real systems; the simulator binds on either, like
+        Linux does on read faults too).
+    """
+
+    var: Variable | None
+    addrs: np.ndarray
+    n_instructions: int
+    ip: SourceLoc
+    is_store: bool = False
+
+    def __post_init__(self) -> None:
+        self.addrs = np.ascontiguousarray(np.asarray(self.addrs, dtype=np.int64))
+        if self.n_instructions < len(self.addrs):
+            raise ProgramError(
+                f"chunk at {self.ip} has {len(self.addrs)} accesses but only "
+                f"{self.n_instructions} instructions"
+            )
+        if self.var is not None and self.addrs.size:
+            lo, hi = int(self.addrs.min()), int(self.addrs.max())
+            if lo < self.var.base or hi >= self.var.end:
+                raise ProgramError(
+                    f"chunk at {self.ip} accesses [{lo:#x}, {hi:#x}] outside "
+                    f"variable {self.var.name} [{self.var.base:#x}, {self.var.end:#x})"
+                )
+
+    @property
+    def n_accesses(self) -> int:
+        """Number of memory accesses in the chunk."""
+        return int(self.addrs.size)
+
+
+def compute_chunk(n_instructions: int, ip: SourceLoc) -> AccessChunk:
+    """A chunk of pure computation (no memory traffic)."""
+    return AccessChunk(
+        var=None, addrs=np.empty(0, dtype=np.int64), n_instructions=n_instructions, ip=ip
+    )
+
+
+def sweep_chunk(
+    var: Variable,
+    start_elem: int,
+    n_elems: int,
+    ip: SourceLoc,
+    *,
+    elem_size: int = 8,
+    stride_elems: int = 1,
+    instructions_per_access: float = 4.0,
+    is_store: bool = False,
+) -> AccessChunk:
+    """Unit/strided-stride sweep over ``n_elems`` elements of ``var``.
+
+    The workhorse pattern: thread-partitioned loops over arrays.
+    """
+    if n_elems <= 0:
+        raise ProgramError(f"sweep needs a positive element count, got {n_elems}")
+    idx = start_elem + stride_elems * np.arange(n_elems, dtype=np.int64)
+    addrs = var.base + idx * elem_size
+    return AccessChunk(
+        var=var,
+        addrs=addrs,
+        n_instructions=max(int(n_elems * instructions_per_access), n_elems),
+        ip=ip,
+        is_store=is_store,
+    )
+
+
+def indexed_chunk(
+    var: Variable,
+    elem_indices: np.ndarray,
+    ip: SourceLoc,
+    *,
+    elem_size: int = 8,
+    instructions_per_access: float = 4.0,
+    is_store: bool = False,
+) -> AccessChunk:
+    """Indirect accesses ``var[idx[i]]`` (e.g. AMG's ``RAP_diag_data[A_diag_i[i]]``)."""
+    idx = np.asarray(elem_indices, dtype=np.int64)
+    if idx.size == 0:
+        raise ProgramError("indexed chunk needs at least one index")
+    addrs = var.base + idx * elem_size
+    return AccessChunk(
+        var=var,
+        addrs=addrs,
+        n_instructions=max(int(idx.size * instructions_per_access), idx.size),
+        ip=ip,
+        is_store=is_store,
+    )

@@ -1,0 +1,44 @@
+"""Address-sampling mechanisms (paper Section 3).
+
+Six mechanisms, mirroring the paper's Table 1:
+
+* :class:`~repro.sampling.ibs.IBS` — AMD instruction-based sampling
+* :class:`~repro.sampling.mrk.MRK` — IBM marked-event sampling
+* :class:`~repro.sampling.pebs.PEBS` — Intel precise event-based sampling
+* :class:`~repro.sampling.dear.DEAR` — Itanium data event address registers
+* :class:`~repro.sampling.pebs_ll.PEBSLL` — PEBS with load latency
+* :class:`~repro.sampling.soft_ibs.SoftIBS` — software instrumentation
+
+Each mechanism exposes *capabilities* (latency capture, event filtering,
+precise IP, absolute event counting) that the profiler's analysis paths
+branch on, and a cost model that charges monitoring overhead to the
+simulated execution — the source of Table 2's overhead percentages.
+"""
+
+from repro.sampling.base import (
+    MechanismCapabilities,
+    SampleBatch,
+    SamplingMechanism,
+)
+from repro.sampling.ibs import IBS
+from repro.sampling.mrk import MRK
+from repro.sampling.pebs import PEBS
+from repro.sampling.dear import DEAR
+from repro.sampling.pebs_ll import PEBSLL
+from repro.sampling.soft_ibs import SoftIBS
+from repro.sampling.registry import MECHANISMS, create_mechanism, table1_config
+
+__all__ = [
+    "MechanismCapabilities",
+    "SampleBatch",
+    "SamplingMechanism",
+    "IBS",
+    "MRK",
+    "PEBS",
+    "DEAR",
+    "PEBSLL",
+    "SoftIBS",
+    "MECHANISMS",
+    "create_mechanism",
+    "table1_config",
+]

@@ -1,0 +1,224 @@
+"""Sampling mechanism base classes and shared helpers.
+
+A mechanism observes each executed chunk and decides which accesses are
+*sampled*. Selection is deterministic: events are counted with a
+per-thread carry so a period-``p`` mechanism samples exactly every
+``p``-th event across chunk boundaries, which both makes tests exact and
+honours the paper's requirement that "memory accesses are uniformly
+sampled".
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MechanismError
+from repro.machine.machine import Machine
+from repro.runtime.chunks import AccessChunk
+
+
+@dataclass(frozen=True)
+class MechanismCapabilities:
+    """What a sampling mechanism's hardware (or software) can do.
+
+    The paper's analyses branch on these: ``measures_latency`` gates the
+    lpi_NUMA metric (eqs. 2/3), ``counts_absolute_events`` selects eq. 3's
+    form, ``samples_all_instructions`` distinguishes IBS-style instruction
+    sampling from event sampling, ``precise_ip`` vs. skid drives the PEBS
+    off-by-1 correction, and ``needs_thread_binding`` marks Soft-IBS's
+    requirement for a static thread -> CPU map.
+    """
+
+    measures_latency: bool = False
+    samples_all_instructions: bool = False
+    event_based: bool = True
+    supports_numa_events: bool = False
+    counts_absolute_events: bool = False
+    precise_ip: bool = True
+    needs_thread_binding: bool = False
+    max_sample_rate_per_sec: float | None = None
+
+
+@dataclass
+class SampleBatch:
+    """Samples taken from one chunk.
+
+    Attributes
+    ----------
+    indices:
+        Indices into the chunk's access arrays for sampled *memory*
+        accesses.
+    n_sampled_instructions:
+        How many instruction samples this batch represents (IBS/PEBS
+        sample non-memory instructions too; those contribute to the
+        lpi denominator I^s but carry no address).
+    n_events_total:
+        Absolute number of the mechanism's trigger events that occurred
+        in the chunk (sampled or not) — the "conventional counter"
+        reading that eq. 3 needs for PEBS-LL (E_NUMA) and that MRK-style
+        tools use for miss counts.
+    latency_captured:
+        Whether latencies attached to these samples are valid.
+    """
+
+    indices: np.ndarray
+    n_sampled_instructions: int
+    n_events_total: int
+    latency_captured: bool
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sampled memory accesses."""
+        return int(self.indices.size)
+
+
+def periodic_positions(carry: int, n_events: int, period: int) -> tuple[np.ndarray, int]:
+    """Deterministic every-``period``-th selection with cross-chunk carry.
+
+    ``carry`` is how many events have elapsed since the last sample.
+    Returns the selected event positions in ``[0, n_events)`` and the new
+    carry. With ``period == 1`` every event is selected.
+    """
+    if period <= 0:
+        raise MechanismError(f"sampling period must be positive, got {period}")
+    if n_events <= 0:
+        return np.empty(0, dtype=np.int64), carry
+    first = period - 1 - carry
+    if first >= n_events:
+        return np.empty(0, dtype=np.int64), carry + n_events
+    positions = np.arange(first, n_events, period, dtype=np.int64)
+    new_carry = n_events - 1 - int(positions[-1])
+    return positions, new_carry
+
+
+class SamplingMechanism(abc.ABC):
+    """Base class: per-thread periodic selection plus a cost model.
+
+    Parameters
+    ----------
+    period:
+        Mechanism-specific sampling period (instructions for IBS/PEBS,
+        trigger events for the event-based mechanisms, accesses for
+        Soft-IBS).
+    per_sample_cycles / per_access_cycles / instr_tax_cycles:
+        Cost model: each taken sample costs ``per_sample_cycles`` (PMU
+        interrupt + unwind + attribution), each executed access costs
+        ``per_access_cycles`` (Soft-IBS instrumentation stubs), and each
+        executed instruction costs ``instr_tax_cycles`` (always-on
+        machinery such as marking hardware). Defaults are calibrated per
+        mechanism so the simulated Table 2 matches the paper's overhead
+        ordering; see EXPERIMENTS.md.
+    """
+
+    name: str = "base"
+    capabilities: MechanismCapabilities = MechanismCapabilities()
+
+    def __init__(
+        self,
+        period: int,
+        *,
+        per_sample_cycles: float = 3000.0,
+        per_access_cycles: float = 0.0,
+        instr_tax_cycles: float = 0.0,
+    ) -> None:
+        if period <= 0:
+            raise MechanismError(f"period must be positive, got {period}")
+        self.period = int(period)
+        self.per_sample_cycles = per_sample_cycles
+        self.per_access_cycles = per_access_cycles
+        self.instr_tax_cycles = instr_tax_cycles
+        self._carry: dict[int, int] = {}
+        self.machine: Machine | None = None
+        self.total_samples = 0
+        self.total_events = 0
+
+    def configure(self, machine: Machine, seed: int = 0x1B5) -> None:
+        """Bind to a machine (clock rate, CPI) before a run."""
+        self.machine = machine
+        self._carry.clear()
+        self.total_samples = 0
+        self.total_events = 0
+        # Hardware IBS randomizes the low bits of its period counter to
+        # avoid aliasing with loop periodicity; we do the same with a
+        # deterministic stream so runs stay reproducible.
+        self._rng = np.random.default_rng(seed)
+
+    def _carry_of(self, tid: int) -> int:
+        return self._carry.get(tid, 0)
+
+    def _set_carry(self, tid: int, value: int) -> None:
+        self._carry[tid] = value
+
+    @abc.abstractmethod
+    def select(
+        self,
+        tid: int,
+        chunk: AccessChunk,
+        levels: np.ndarray,
+        target_domains: np.ndarray,
+        latencies: np.ndarray,
+    ) -> SampleBatch:
+        """Choose samples from one executed chunk."""
+
+    def cost_cycles(self, batch: SampleBatch, chunk: AccessChunk) -> float:
+        """Monitoring cost charged to the thread for this chunk.
+
+        The per-sample cost applies to every *taken sample interrupt* —
+        for instruction-sampling mechanisms that includes tagged
+        non-memory instructions, which is exactly why IBS's overhead
+        exceeds the event-based mechanisms' in Table 2 ("IBS samples all
+        kinds of instructions ... which adds extra overhead").
+        """
+        return (
+            batch.n_sampled_instructions * self.per_sample_cycles
+            + chunk.n_accesses * self.per_access_cycles
+            + chunk.n_instructions * self.instr_tax_cycles
+        )
+
+    def _finish(self, batch: SampleBatch) -> SampleBatch:
+        self.total_samples += batch.n_samples
+        self.total_events += batch.n_events_total
+        return batch
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables."""
+        return f"{self.name} (period {self.period})"
+
+
+class InstructionSamplingMixin:
+    """Shared logic for mechanisms that sample the instruction stream.
+
+    Instruction slot ``s`` of a chunk is a memory access iff the Bresenham
+    condition ``(s * n_acc) % n_instr < n_acc`` holds, which spreads the
+    chunk's accesses uniformly through its instruction stream; the access
+    index for such a slot is ``s * n_acc // n_instr``. Sampling every
+    ``period``-th instruction therefore samples memory uniformly at rate
+    ``n_acc / n_instr`` — matching IBS, which samples all instruction
+    types and leaves software to filter (paper Section 10).
+    """
+
+    def _instruction_samples(
+        self, tid: int, chunk: AccessChunk
+    ) -> tuple[np.ndarray, int]:
+        """Return (sampled access indices, number of instruction samples)."""
+        positions, new_carry = periodic_positions(
+            self._carry_of(tid), chunk.n_instructions, self.period
+        )
+        self._set_carry(tid, new_carry)
+        if positions.size == 0 or chunk.n_accesses == 0:
+            return np.empty(0, dtype=np.int64), int(positions.size)
+        # Randomize low bits of each sample position (as hardware does) so
+        # the period never aliases with the chunk's access/instruction
+        # interleave; carry accounting stays on the unjittered grid.
+        jitter_width = min(self.period, 64)
+        if jitter_width > 1:
+            jitter = self._rng.integers(0, jitter_width, size=positions.size)
+            positions = np.maximum(positions - jitter, 0)
+        n_acc = chunk.n_accesses
+        n_ins = chunk.n_instructions
+        is_mem = (positions * n_acc) % n_ins < n_acc
+        access_idx = positions[is_mem] * n_acc // n_ins
+        return access_idx.astype(np.int64), int(positions.size)

@@ -1,0 +1,95 @@
+"""Mechanism registry and the paper's Table 1 configurations.
+
+``table1_config`` reproduces, row for row, the sampling setups the paper
+evaluated: mechanism, host architecture preset, thread count, event name,
+and sampling period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MechanismError
+from repro.sampling.base import SamplingMechanism
+from repro.sampling.dear import DEAR
+from repro.sampling.ibs import IBS
+from repro.sampling.mrk import MRK
+from repro.sampling.pebs import PEBS
+from repro.sampling.pebs_ll import PEBSLL
+from repro.sampling.soft_ibs import SoftIBS
+
+#: Name -> mechanism class.
+MECHANISMS: dict[str, type[SamplingMechanism]] = {
+    "IBS": IBS,
+    "MRK": MRK,
+    "PEBS": PEBS,
+    "DEAR": DEAR,
+    "PEBS-LL": PEBSLL,
+    "Soft-IBS": SoftIBS,
+}
+
+
+def create_mechanism(name: str, period: int | None = None, **kwargs) -> SamplingMechanism:
+    """Instantiate a mechanism by name with its Table 1 default period."""
+    try:
+        cls = MECHANISMS[name]
+    except KeyError:
+        raise MechanismError(
+            f"unknown mechanism {name!r}; choose from {sorted(MECHANISMS)}"
+        ) from None
+    if period is None:
+        return cls(**kwargs)
+    return cls(period, **kwargs)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    mechanism: str
+    full_name: str
+    preset: str
+    processor: str
+    threads: int
+    event: str
+    period: int
+
+
+#: The paper's Table 1, verbatim.
+TABLE1: tuple[Table1Row, ...] = (
+    Table1Row(
+        "IBS", "Instruction-based sampling", "magny_cours",
+        "AMD Magny-Cours", 48, "IBS op", 64 * 1024,
+    ),
+    Table1Row(
+        "MRK", "Marked event sampling", "power7",
+        "IBM POWER 7", 128, "PM_MRK_FROM_L3MISS", 1,
+    ),
+    Table1Row(
+        "PEBS", "Precise event-based sampling", "xeon_harpertown",
+        "Intel Xeon Harpertown", 8, "INST_RETIRED:ANY_P", 1_000_000,
+    ),
+    Table1Row(
+        "DEAR", "Data event address registers", "itanium2",
+        "Intel Itanium 2", 8, "DATA_EAR_CACHE_LAT4", 20_000,
+    ),
+    Table1Row(
+        "PEBS-LL", "PEBS with load latency", "ivy_bridge",
+        "Intel Ivy Bridge", 8, "LATENCY_ABOVE_THRESHOLD", 500_000,
+    ),
+    Table1Row(
+        "Soft-IBS", "Software-supported IBS", "magny_cours",
+        "AMD Magny-Cours", 48, "memory accesses", 10_000_000,
+    ),
+)
+
+
+def table1_config(mechanism: str) -> Table1Row:
+    """Look up a mechanism's Table 1 row."""
+    for row in TABLE1:
+        if row.mechanism == mechanism:
+            return row
+    raise MechanismError(
+        f"no Table 1 row for {mechanism!r}; choose from "
+        f"{[r.mechanism for r in TABLE1]}"
+    )

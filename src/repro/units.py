@@ -1,0 +1,99 @@
+"""Address, page, and time unit helpers shared across the simulator.
+
+The simulated address space is a flat 64-bit byte-addressed space. Pages are
+4 KiB and cache lines 64 bytes unless a :class:`~repro.machine.machine.Machine`
+is configured otherwise; the constants here are the defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default simulated page size in bytes (matches Linux x86-64 small pages).
+PAGE_SIZE = 4096
+
+#: Default cache line size in bytes.
+CACHE_LINE = 64
+
+#: Size of a simulated double-precision element; workloads are expressed in
+#: 8-byte elements unless stated otherwise.
+ELEM_SIZE = 8
+
+
+def page_of(addr: int | np.ndarray, page_size: int = PAGE_SIZE):
+    """Return the page number containing ``addr`` (scalar or array)."""
+    return addr // page_size
+
+
+def page_base(addr: int, page_size: int = PAGE_SIZE) -> int:
+    """Return the byte address of the start of the page containing ``addr``."""
+    return (addr // page_size) * page_size
+
+
+def pages_spanned(base: int, nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages touched by the byte range ``[base, base + nbytes)``.
+
+    A zero-length range spans zero pages.
+    """
+    if nbytes <= 0:
+        return 0
+    first = base // page_size
+    last = (base + nbytes - 1) // page_size
+    return int(last - first + 1)
+
+
+def line_of(addr: int | np.ndarray, line_size: int = CACHE_LINE):
+    """Return the cache-line number containing ``addr`` (scalar or array)."""
+    return addr // line_size
+
+
+def fast_unique(values: np.ndarray) -> np.ndarray:
+    """``np.unique`` with an O(n) fast path for already-sorted input.
+
+    The simulator's hot path calls unique on page/line arrays derived
+    from mostly-sorted sweep traces; checking sortedness with a diff is
+    far cheaper than the sort inside ``np.unique``.
+    """
+    values = np.asarray(values)
+    if values.size <= 1:
+        return values.copy()
+    deltas = np.diff(values)
+    if np.all(deltas >= 0):
+        keep = np.empty(values.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = deltas > 0
+        return values[keep]
+    return np.unique(values)
+
+
+def first_occurrence_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of each value's first occurrence, in order.
+
+    O(n) for sorted inputs; falls back to ``np.unique`` otherwise.
+    """
+    values = np.asarray(values)
+    mask = np.zeros(values.shape, dtype=bool)
+    if values.size == 0:
+        return mask
+    deltas = np.diff(values)
+    if np.all(deltas >= 0):
+        mask[0] = True
+        mask[1:] = deltas > 0
+        return mask
+    _, first_idx = np.unique(values, return_index=True)
+    mask[first_idx] = True
+    return mask
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+def cycles_to_seconds(cycles: float, ghz: float) -> float:
+    """Convert a cycle count to seconds at a clock rate of ``ghz`` GHz."""
+    if ghz <= 0:
+        raise ValueError(f"clock rate must be positive, got {ghz}")
+    return cycles / (ghz * 1e9)

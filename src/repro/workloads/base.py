@@ -1,0 +1,170 @@
+"""Shared workload machinery: tuned allocation and init-region synthesis.
+
+Workloads honour a :class:`~repro.optim.policies.NumaTuning`:
+
+* explicit placement specs are applied at allocation time,
+* variables in ``parallel_init`` move from the serial initialization
+  region into a parallel one where each thread first-touches the
+  partition it later computes on (the co-location code change),
+* ``regroup`` is interpreted by workloads that support a layout change
+  (Blackscholes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.pagetable import PlacementPolicy
+from repro.optim.policies import NumaTuning
+from repro.runtime.callstack import CallPath, SourceLoc
+from repro.runtime.chunks import AccessChunk, sweep_chunk
+from repro.runtime.heap import Variable
+from repro.runtime.program import ProgramContext, Region, RegionKind
+
+
+class WorkloadBase:
+    """Base class handling tuning-aware allocation and initialization."""
+
+    name = "workload"
+    source_file = "workload.c"
+
+    def __init__(self, tuning: NumaTuning | None = None) -> None:
+        self.tuning = tuning or NumaTuning()
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+
+    def _alloc(
+        self,
+        ctx: ProgramContext,
+        name: str,
+        nbytes: int,
+        path: CallPath,
+    ) -> Variable:
+        """Allocate a heap variable honouring any explicit placement."""
+        spec = self.tuning.spec_for(name)
+        policy = spec.policy if spec else PlacementPolicy.FIRST_TOUCH
+        domains = spec.domain_list() if spec else None
+        return ctx.heap.malloc(
+            nbytes, name, path, policy=policy, domains=domains
+        )
+
+    # ------------------------------------------------------------------ #
+    # initialization regions
+    # ------------------------------------------------------------------ #
+
+    def _init_partition(
+        self, ctx: ProgramContext, var: Variable, tid: int
+    ) -> tuple[int, int]:
+        """Element range thread ``tid`` initializes under parallel init.
+
+        Default: the blocked compute partition. Workloads with other
+        compute decompositions (UMT's round-robin planes) override this.
+        """
+        return ctx.partition(var.n_elems(), tid)
+
+    def make_init_regions(
+        self,
+        ctx: ProgramContext,
+        var_names: list[str],
+        *,
+        line: int = 100,
+        region_name: str = "init",
+    ) -> list[Region]:
+        """Build initialization regions for the given variables.
+
+        Variables without parallel init are first-touched by the master
+        thread in one serial region (the Linux first-touch trap that
+        centralizes pages); variables with parallel init get a parallel
+        region where each thread stores to its own partition.
+        """
+        serial = [n for n in var_names if not self.tuning.inits_in_parallel(n)]
+        parallel = [n for n in var_names if self.tuning.inits_in_parallel(n)]
+        regions: list[Region] = []
+
+        if serial:
+            def serial_kernel(ctx: ProgramContext, tid: int, names=tuple(serial)):
+                for i, name in enumerate(names):
+                    var = ctx.var(name)
+                    # Initialization is modeled at page-touch granularity:
+                    # one store per page binds every page exactly as a full
+                    # memset would (first-touch semantics are identical)
+                    # while the amortized trace/time cost stays realistic —
+                    # real codes initialize once and compute for hours.
+                    stride = max(ctx.machine.page_size // 8, 1)
+                    n_touches = -(-var.n_elems() // stride)  # ceil: cover tail page
+                    yield sweep_chunk(
+                        var,
+                        0,
+                        n_touches,
+                        SourceLoc(f"init_{name}", self.source_file, line + i),
+                        is_store=True,
+                        stride_elems=stride,
+                        instructions_per_access=48.0,
+                    )
+
+            regions.append(
+                Region(
+                    region_name,
+                    RegionKind.SERIAL,
+                    serial_kernel,
+                    SourceLoc(region_name, self.source_file, line),
+                )
+            )
+
+        if parallel:
+            def parallel_kernel(ctx: ProgramContext, tid: int, names=tuple(parallel)):
+                for i, name in enumerate(names):
+                    var = ctx.var(name)
+                    chunk = self._parallel_init_chunk(ctx, var, tid, line + 50 + i)
+                    if chunk is not None:
+                        yield chunk
+
+            regions.append(
+                Region(
+                    f"{region_name}._omp",
+                    RegionKind.PARALLEL,
+                    parallel_kernel,
+                    SourceLoc(f"{region_name}._omp", self.source_file, line + 50),
+                )
+            )
+        return regions
+
+    def _parallel_init_chunk(
+        self, ctx: ProgramContext, var: Variable, tid: int, line: int
+    ) -> AccessChunk | None:
+        """One thread's share of a parallelized init loop."""
+        lo, hi = self._init_partition(ctx, var, tid)
+        if hi <= lo:
+            return None
+        stride = max(ctx.machine.page_size // 8, 1)
+        n_touches = -(-(hi - lo) // stride)  # ceil: cover the tail page
+        return sweep_chunk(
+            var,
+            lo,
+            n_touches,
+            SourceLoc(f"init_{var.name}._omp", self.source_file, line),
+            is_store=True,
+            stride_elems=stride,
+            instructions_per_access=48.0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # convenience for indirect patterns
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def jittered_block_indices(
+        rng: np.random.Generator, lo: int, hi: int, n_total: int, jitter: int
+    ) -> np.ndarray:
+        """Blocked indices with local scatter (indirect-access modeling).
+
+        Elements of ``[lo, hi)`` shifted by up to ``jitter`` positions —
+        the shape of AMG's ``A_diag_i`` indirection: per-thread locality
+        with short-range disorder.
+        """
+        base = np.arange(lo, hi, dtype=np.int64)
+        if jitter > 0:
+            base = base + rng.integers(-jitter, jitter + 1, size=base.size)
+        return np.clip(base, 0, n_total - 1)

@@ -1,0 +1,192 @@
+"""LULESH model (paper Section 8.1).
+
+Livermore's shock-hydrodynamics proxy, reduced to its NUMA-relevant
+structure:
+
+* six heap-allocated nodal arrays — coordinates ``x, y, z`` and
+  velocities ``xd, yd, zd`` — allocated by the master thread inside
+  ``Domain::AllocateNodalPersistent`` via ``operator new[]`` (the paper's
+  Fig. 3 shows allocation-site lines 2159/2160/2164 for these calls);
+* the element-to-node connectivity ``nodelist``, a *stack* array in the
+  real code (the paper promoted it to static to analyze it; our profiler
+  can monitor stack variables directly) that carries eight node indices
+  per element and is the single hottest variable (20.3% of remote
+  latency in the paper's run vs. 11.3% for ``z``);
+* serial initialization (master first-touches everything into NUMA
+  domain 0) followed by time-stepped parallel regions in which thread
+  ``t`` works on the ``t``-th block of nodes/elements — the blocked
+  pattern of Fig. 3's address-centric pane.
+
+``partial_init_vars`` models the POWER7 configuration where some arrays
+(the velocities) are first touched inside an OpenMP loop in the original
+code, giving the baseline partial co-location; this is what makes
+*interleaving* a regression on POWER7 (paper: −16.4%) while remaining a
+win on the AMD system (+13%).
+"""
+
+from __future__ import annotations
+
+from repro.optim.policies import NumaTuning
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import compute_chunk, sweep_chunk
+from repro.runtime.program import ProgramContext, Region, RegionKind
+from repro.workloads.base import WorkloadBase
+
+#: The six heap nodal arrays in the order the paper lists them.
+NODAL_ARRAYS = ("x", "y", "z", "xd", "yd", "zd")
+
+#: Allocation-site line numbers shown in the paper's Fig. 3 source pane.
+ALLOC_LINES = {"x": 2157, "y": 2158, "z": 2159, "xd": 2160, "yd": 2162, "zd": 2164}
+
+
+class Lulesh(WorkloadBase):
+    """Simulated LULESH with the paper's variable set and access structure."""
+
+    name = "LULESH"
+    source_file = "lulesh.cc"
+
+    def __init__(
+        self,
+        tuning: NumaTuning | None = None,
+        *,
+        n_nodes: int = 600_000,
+        steps: int = 10,
+        partial_init_vars: tuple[str, ...] = (),
+        compute_instructions_per_node: float = 360.0,
+    ) -> None:
+        super().__init__(tuning)
+        self.n_nodes = n_nodes
+        self.n_elems = n_nodes  # cubic mesh proxy: |elems| ~ |nodes|
+        self.steps = steps
+        self.partial_init_vars = set(partial_init_vars)
+        self.compute_ipn = compute_instructions_per_node
+        # Partially-parallel baseline init (POWER7 configuration) is
+        # expressed through the same parallel-init machinery as tuning.
+        for name in self.partial_init_vars:
+            self.tuning.parallel_init.add(name)
+
+    # ------------------------------------------------------------------ #
+
+    def setup(self, ctx: ProgramContext) -> None:
+        alloc_frame = SourceLoc(
+            "Domain::AllocateNodalPersistent", self.source_file, 2150
+        )
+        for name in NODAL_ARRAYS:
+            self._alloc(
+                ctx,
+                name,
+                self.n_nodes * 8,
+                (
+                    SourceLoc("main"),
+                    SourceLoc("Lulesh::Domain"),
+                    alloc_frame,
+                    SourceLoc(
+                        "operator new[]", self.source_file, ALLOC_LINES[name]
+                    ),
+                ),
+            )
+        # nodelist: 8 int32 node indices per element, on the main
+        # thread's stack (the paper promoted it to static to analyze and
+        # redistribute it; an explicit placement spec does the same here).
+        from repro.machine.pagetable import PlacementPolicy
+
+        spec = self.tuning.spec_for("nodelist")
+        ctx.heap.stack_alloc(
+            self.n_elems * 8 * 4,
+            "nodelist",
+            tid=0,
+            path=(SourceLoc("main"), SourceLoc("Lulesh::BuildMesh")),
+            policy=spec.policy if spec else PlacementPolicy.FIRST_TOUCH,
+            domains=spec.domain_list() if spec else None,
+        )
+
+    def regions(self, ctx: ProgramContext) -> list[Region]:
+        regions = self.make_init_regions(
+            ctx, list(NODAL_ARRAYS) + ["nodelist"], line=300
+        )
+        regions.extend(self._timestep_regions(ctx))
+        return regions
+
+    # ------------------------------------------------------------------ #
+
+    def _timestep_regions(self, ctx: ProgramContext) -> list[Region]:
+        def calc_force(ctx: ProgramContext, tid: int):
+            # Element loop: reads nodelist (8 entries/elem) and gathers
+            # the coordinate arrays over this thread's block.
+            nodelist = ctx.var("nodelist")
+            e_lo, e_hi = ctx.partition(self.n_elems, tid)
+            if e_hi <= e_lo:
+                return
+            # 8 int32 entries per element; the trace records one access
+            # per 16 bytes (every line is still touched).
+            yield sweep_chunk(
+                nodelist,
+                e_lo * 8,
+                (e_hi - e_lo) * 2,
+                SourceLoc("CalcForceForNodes:gather", self.source_file, 1012),
+                elem_size=4,
+                stride_elems=4,
+                instructions_per_access=12.0,
+            )
+            for name in ("x", "y", "z"):
+                var = ctx.var(name)
+                lo, hi = ctx.partition(self.n_nodes, tid)
+                yield sweep_chunk(
+                    var,
+                    lo,
+                    (hi - lo) // 2,
+                    SourceLoc(f"CalcForceForNodes:{name}", self.source_file, 1020),
+                    stride_elems=2,
+                    instructions_per_access=8.0,
+                )
+            # Element-local hydrodynamics arithmetic.
+            yield compute_chunk(
+                int((e_hi - e_lo) * self.compute_ipn),
+                SourceLoc("CalcForceForNodes:eos", self.source_file, 1090),
+            )
+
+        def calc_position(ctx: ProgramContext, tid: int):
+            lo, hi = ctx.partition(self.n_nodes, tid)
+            if hi <= lo:
+                return
+            for name in ("xd", "yd", "zd"):
+                yield sweep_chunk(
+                    ctx.var(name),
+                    lo,
+                    (hi - lo) // 2,
+                    SourceLoc(f"CalcVelocityForNodes:{name}", self.source_file, 1410),
+                    stride_elems=2,
+                    instructions_per_access=8.0,
+                    is_store=True,
+                )
+            for name in ("x", "y", "z"):
+                yield sweep_chunk(
+                    ctx.var(name),
+                    lo,
+                    (hi - lo) // 2,
+                    SourceLoc(f"CalcPositionForNodes:{name}", self.source_file, 1450),
+                    stride_elems=2,
+                    instructions_per_access=8.0,
+                    is_store=True,
+                )
+            yield compute_chunk(
+                int((hi - lo) * self.compute_ipn * 0.5),
+                SourceLoc("CalcPositionForNodes:integrate", self.source_file, 1470),
+            )
+
+        return [
+            Region(
+                "CalcForceForNodes._omp",
+                RegionKind.PARALLEL,
+                calc_force,
+                SourceLoc("CalcForceForNodes._omp", self.source_file, 1000),
+                repeat=self.steps,
+            ),
+            Region(
+                "CalcPositionForNodes._omp",
+                RegionKind.PARALLEL,
+                calc_position,
+                SourceLoc("CalcPositionForNodes._omp", self.source_file, 1400),
+                repeat=self.steps,
+            ),
+        ]

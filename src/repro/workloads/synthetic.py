@@ -1,0 +1,125 @@
+"""Synthetic workloads for tests and the Figure 1 distribution study.
+
+:class:`PartitionedSweep` is the minimal NUMA-sensitive program: one
+array, a (serial or parallel) initialization, and repeated parallel
+blocked sweeps. Its behaviour under the three distributions of the
+paper's Figure 1 — centralized, interleaved, co-located — is the
+distribution benchmark.
+
+:class:`CentralHotspot` drives every thread at the whole array (uniform
+access), the case where interleaving is the right fix.
+"""
+
+from __future__ import annotations
+
+from repro.optim.policies import NumaTuning
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import sweep_chunk
+from repro.runtime.program import ProgramContext, Region, RegionKind
+from repro.workloads.base import WorkloadBase
+
+
+class PartitionedSweep(WorkloadBase):
+    """One array, blocked parallel sweeps; init placement is the variable."""
+
+    name = "partitioned_sweep"
+    source_file = "sweep.c"
+
+    def __init__(
+        self,
+        tuning: NumaTuning | None = None,
+        *,
+        n_elems: int = 400_000,
+        steps: int = 4,
+        instructions_per_access: float = 6.0,
+    ) -> None:
+        super().__init__(tuning)
+        self.n_elems = n_elems
+        self.steps = steps
+        self.ipa = instructions_per_access
+
+    def setup(self, ctx: ProgramContext) -> None:
+        self._alloc(
+            ctx,
+            "data",
+            self.n_elems * 8,
+            (SourceLoc("main"), SourceLoc("allocate_data"), SourceLoc("malloc")),
+        )
+
+    def regions(self, ctx: ProgramContext) -> list[Region]:
+        regions = self.make_init_regions(ctx, ["data"], line=10)
+
+        def compute(ctx: ProgramContext, tid: int):
+            data = ctx.var("data")
+            lo, hi = ctx.partition(self.n_elems, tid)
+            if hi > lo:
+                yield sweep_chunk(
+                    data,
+                    lo,
+                    hi - lo,
+                    SourceLoc("sweep_loop", self.source_file, 42),
+                    instructions_per_access=self.ipa,
+                )
+
+        regions.append(
+            Region(
+                "compute._omp",
+                RegionKind.PARALLEL,
+                compute,
+                SourceLoc("compute._omp", self.source_file, 40),
+                repeat=self.steps,
+            )
+        )
+        return regions
+
+
+class CentralHotspot(WorkloadBase):
+    """Every thread reads the whole array every step (uniform access)."""
+
+    name = "central_hotspot"
+    source_file = "hotspot.c"
+
+    def __init__(
+        self,
+        tuning: NumaTuning | None = None,
+        *,
+        n_elems: int = 250_000,
+        steps: int = 4,
+        instructions_per_access: float = 6.0,
+    ) -> None:
+        super().__init__(tuning)
+        self.n_elems = n_elems
+        self.steps = steps
+        self.ipa = instructions_per_access
+
+    def setup(self, ctx: ProgramContext) -> None:
+        self._alloc(
+            ctx,
+            "table",
+            self.n_elems * 8,
+            (SourceLoc("main"), SourceLoc("allocate_table"), SourceLoc("malloc")),
+        )
+
+    def regions(self, ctx: ProgramContext) -> list[Region]:
+        regions = self.make_init_regions(ctx, ["table"], line=10)
+
+        def lookup(ctx: ProgramContext, tid: int):
+            table = ctx.var("table")
+            yield sweep_chunk(
+                table,
+                0,
+                self.n_elems,
+                SourceLoc("lookup_loop", self.source_file, 33),
+                instructions_per_access=self.ipa,
+            )
+
+        regions.append(
+            Region(
+                "lookup._omp",
+                RegionKind.PARALLEL,
+                lookup,
+                SourceLoc("lookup._omp", self.source_file, 30),
+                repeat=self.steps,
+            )
+        )
+        return regions

@@ -1,0 +1,110 @@
+"""Shared fixtures: small machines, a toy program, and profiled archives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.machine.machine import Machine
+from repro.machine.topology import NumaTopology
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import sweep_chunk
+from repro.runtime.program import Region, RegionKind
+from repro.sampling import IBS
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """4 domains x 2 cores, small frame pool — fast unit-test machine."""
+    return presets.generic(n_domains=4, cores_per_domain=2)
+
+
+@pytest.fixture
+def two_domain_machine() -> Machine:
+    """Minimal 2-domain machine."""
+    return presets.generic(n_domains=2, cores_per_domain=2)
+
+
+class ToyProgram:
+    """One heap array: serial init, then partitioned parallel sweeps.
+
+    The smallest program exhibiting the canonical first-touch NUMA bug.
+    """
+
+    name = "toy"
+
+    def __init__(self, n_elems: int = 200_000, steps: int = 3) -> None:
+        self.n_elems = n_elems
+        self.steps = steps
+
+    def setup(self, ctx) -> None:
+        ctx.heap.malloc(
+            self.n_elems * 8,
+            "a",
+            (SourceLoc("main"), SourceLoc("alloc_a"), SourceLoc("operator new[]")),
+        )
+
+    def regions(self, ctx):
+        a = ctx.var("a")
+
+        def init(ctx, tid):
+            yield sweep_chunk(
+                a, 0, self.n_elems, SourceLoc("init_loop", "toy.c", 10),
+                is_store=True,
+            )
+
+        def compute(ctx, tid):
+            lo, hi = ctx.partition(self.n_elems, tid)
+            if hi > lo:
+                yield sweep_chunk(
+                    a, lo, hi - lo,
+                    SourceLoc("compute_loop", "toy.c", 20),
+                    instructions_per_access=8.0,
+                )
+
+        return [
+            Region("init", RegionKind.SERIAL, init, SourceLoc("init")),
+            Region(
+                "compute._omp", RegionKind.PARALLEL, compute,
+                SourceLoc("compute._omp"), repeat=self.steps,
+            ),
+        ]
+
+
+@pytest.fixture
+def toy_program() -> ToyProgram:
+    """A fresh toy program instance."""
+    return ToyProgram()
+
+
+@pytest.fixture
+def toy_archive(small_machine, toy_program):
+    """A profiled toy run: (engine, run result, profiler archive)."""
+    profiler = NumaProfiler(IBS(period=512))
+    engine = ExecutionEngine(
+        small_machine, toy_program, n_threads=8, monitor=profiler
+    )
+    result = engine.run()
+    return engine, result, profiler.archive
+
+
+@pytest.fixture(scope="session")
+def toy_archive_factory():
+    """Factory returning the same deterministic archive each call
+    (cheaply cached; callers must not mutate profiles)."""
+    cache = {}
+
+    def build():
+        if "arc" not in cache:
+            machine = presets.generic(n_domains=4, cores_per_domain=2)
+            profiler = NumaProfiler(IBS(period=512))
+            ExecutionEngine(
+                machine, ToyProgram(), 8, monitor=profiler
+            ).run()
+            cache["arc"] = profiler.archive
+        return cache["arc"]
+
+    return build

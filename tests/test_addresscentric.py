@@ -1,0 +1,99 @@
+"""Address-centric binning: bin counts, edges, index mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiler.addresscentric import (
+    BIN_ENV_VAR,
+    BIN_PAGE_THRESHOLD,
+    DEFAULT_BINS,
+    bin_count_for,
+    bin_edges,
+    bin_indices,
+    configured_bins,
+    normalized_range,
+)
+
+PAGE = 4096
+
+
+class TestBinCount:
+    def test_small_variable_unbinned(self):
+        assert bin_count_for(5 * PAGE) == 1
+        assert bin_count_for(100) == 1
+
+    def test_large_variable_gets_default_bins(self):
+        assert bin_count_for(6 * PAGE) == DEFAULT_BINS
+
+    def test_threshold_is_five_pages(self):
+        assert BIN_PAGE_THRESHOLD == 5
+
+    def test_override(self):
+        assert bin_count_for(100 * PAGE, n_bins=7) == 7
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(BIN_ENV_VAR, "9")
+        assert configured_bins() == 9
+        assert bin_count_for(100 * PAGE) == 9
+
+    def test_env_var_invalid_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BIN_ENV_VAR, "banana")
+        assert configured_bins() == DEFAULT_BINS
+        monkeypatch.setenv(BIN_ENV_VAR, "-3")
+        assert configured_bins() == DEFAULT_BINS
+
+
+class TestBinEdges:
+    def test_edges_span_variable(self):
+        edges = bin_edges(1000, 500, 5)
+        assert edges[0] == 1000
+        assert edges[-1] == 1500
+        assert len(edges) == 6
+
+    def test_edges_monotone(self):
+        edges = bin_edges(0, 12345, 5)
+        assert np.all(np.diff(edges) > 0)
+
+
+class TestBinIndices:
+    def test_boundaries(self):
+        idx = bin_indices(np.array([0, 99, 100, 499]), 0, 500, 5)
+        np.testing.assert_array_equal(idx, [0, 0, 1, 4])
+
+    def test_last_byte_clipped_into_last_bin(self):
+        assert bin_indices(np.array([499]), 0, 500, 5)[0] == 4
+
+    def test_with_base_offset(self):
+        idx = bin_indices(np.array([1000, 1250, 1499]), 1000, 500, 2)
+        np.testing.assert_array_equal(idx, [0, 1, 1])
+
+
+class TestNormalizedRange:
+    def test_full_range(self):
+        assert normalized_range(100, 199, 100, 100) == (0.0, 0.99)
+
+    def test_zero_extent(self):
+        assert normalized_range(0, 0, 0, 0) == (0.0, 0.0)
+
+
+@given(
+    # At least one byte per bin so integer edge rounding cannot collapse
+    # bins to zero width.
+    nbytes=st.integers(min_value=64, max_value=10**7),
+    n_bins=st.integers(min_value=1, max_value=16),
+    offsets=st.lists(st.floats(0, 1, exclude_max=True), min_size=1, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_bin_indices_consistent_with_edges(nbytes, n_bins, offsets):
+    """Every address lands in the bin whose edge interval contains it."""
+    base = 1 << 30
+    addrs = base + (np.array(offsets) * nbytes).astype(np.int64)
+    idx = bin_indices(addrs, base, nbytes, n_bins)
+    edges = bin_edges(base, nbytes, n_bins)
+    assert np.all(idx >= 0) and np.all(idx < n_bins)
+    for a, b in zip(addrs, idx):
+        assert edges[b] <= a  # address at or past its bin's start
+        if b + 1 < n_bins:
+            # strictly before the start of the bin after next
+            assert a < edges[b + 2]

@@ -1,0 +1,96 @@
+"""The optimization advisor: verdicts and per-variable recommendations."""
+
+import pytest
+
+from repro.analysis import NumaAnalysis, advise, merge_profiles
+from repro.analysis.advisor import Action
+from repro.machine import presets
+from repro.optim.policies import NumaTuning
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS
+from repro.workloads import CentralHotspot, PartitionedSweep
+
+from tests.conftest import ToyProgram
+
+
+def analyze(program, n_threads=8, machine=None):
+    machine = machine or presets.generic(n_domains=4, cores_per_domain=2)
+    prof = NumaProfiler(IBS(period=512))
+    engine = ExecutionEngine(machine, program, n_threads, monitor=prof)
+    engine.run()
+    an = NumaAnalysis(merge_profiles(prof.archive))
+    tdom = {t.tid: t.domain for t in engine.threads}
+    return advise(an, thread_domains=tdom), an
+
+
+class TestVerdict:
+    def test_blocked_program_warrants_blockwise(self):
+        advice, _ = analyze(PartitionedSweep(n_elems=400_000, steps=4))
+        assert advice.worth_optimizing
+        recs = {r.var_name: r for r in advice.recommendations}
+        assert recs["data"].action is Action.BLOCKWISE
+        assert len(recs["data"].blockwise_domains) == 4
+        assert recs["data"].blockwise_domains == [0, 1, 2, 3]
+
+    def test_uniform_program_gets_interleave(self):
+        advice, _ = analyze(CentralHotspot(n_elems=400_000, steps=4))
+        recs = {r.var_name: r for r in advice.recommendations}
+        assert recs["table"].action is Action.INTERLEAVE
+
+    def test_first_touch_paths_reported(self):
+        advice, _ = analyze(ToyProgram())
+        rec = advice.recommendations[0]
+        assert rec.first_touch_paths
+        path = next(iter(rec.first_touch_paths))
+        assert any("init" in f.func for f in path)
+
+    def test_rationales_are_informative(self):
+        advice, _ = analyze(ToyProgram())
+        assert "lpi" in advice.rationale
+        for rec in advice.recommendations:
+            assert rec.var_name in rec.rationale
+            assert rec.remote_cost_share > 0
+
+
+class TestBelowThreshold:
+    def test_low_lpi_means_no_recommendations(self):
+        """A compute-dominated program must get the Blackscholes verdict."""
+        from repro.runtime.callstack import SourceLoc
+        from repro.runtime.chunks import compute_chunk, sweep_chunk
+        from repro.runtime.program import Region, RegionKind
+
+        class ComputeHeavy(ToyProgram):
+            def regions(self, ctx):
+                a = ctx.var("a")
+
+                def init(ctx, tid):
+                    yield sweep_chunk(
+                        a, 0, self.n_elems, SourceLoc("init"), is_store=True
+                    )
+
+                def kernel(ctx, tid):
+                    lo, hi = ctx.partition(self.n_elems, tid)
+                    yield sweep_chunk(a, lo, max((hi - lo) // 8, 1),
+                                      SourceLoc("k"), stride_elems=8)
+                    yield compute_chunk(50_000_000, SourceLoc("pde"))
+
+                return [
+                    Region("init", RegionKind.SERIAL, init, SourceLoc("init")),
+                    Region("k._omp", RegionKind.PARALLEL, kernel,
+                           SourceLoc("k._omp"), repeat=2),
+                ]
+
+        advice, an = analyze(ComputeHeavy())
+        assert an.program_lpi() < 0.1
+        assert not advice.worth_optimizing
+        assert advice.recommendations == []
+        assert "NUMA" in advice.rationale
+
+
+class TestScoping:
+    def test_min_cost_share_filters(self):
+        advice, an = analyze(ToyProgram())
+        filtered = advise(an, min_cost_share=2.0)  # impossible bar
+        assert filtered.worth_optimizing
+        assert filtered.recommendations == []

@@ -1,0 +1,80 @@
+"""The shared benchmark harness (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import RunBundle, fmt_table, record_experiment, run_workload
+from repro.bench.harness import pct
+from repro.machine import presets
+from repro.runtime.thread import BindingPolicy
+from repro.sampling import IBS
+from repro.workloads import PartitionedSweep
+
+
+class TestRunWorkload:
+    def test_plain_run(self):
+        bundle = run_workload(
+            lambda: presets.generic(n_domains=2, cores_per_domain=2),
+            PartitionedSweep(n_elems=50_000, steps=1),
+            4,
+        )
+        assert bundle.result.wall_seconds > 0
+        assert bundle.profiler is None
+        with pytest.raises(ValueError):
+            bundle.analysis
+
+    def test_monitored_run_exposes_analysis(self):
+        bundle = run_workload(
+            lambda: presets.generic(n_domains=2, cores_per_domain=2),
+            PartitionedSweep(n_elems=50_000, steps=2),
+            4,
+            IBS(period=256),
+        )
+        assert bundle.analysis.program_lpi() is not None
+        assert set(bundle.thread_domains) == {0, 1, 2, 3}
+
+    def test_binding_forwarded(self):
+        bundle = run_workload(
+            lambda: presets.generic(n_domains=2, cores_per_domain=2),
+            PartitionedSweep(n_elems=50_000, steps=1),
+            4,
+            binding=BindingPolicy.SCATTER,
+        )
+        assert [t.domain for t in bundle.engine.threads] == [0, 1, 0, 1]
+
+
+class TestFormatting:
+    def test_fmt_table_alignment(self):
+        text = fmt_table(["a", "bb"], [["x", 1], ["yyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert len(lines) == 5
+
+    def test_fmt_table_empty_rows(self):
+        text = fmt_table(["col"], [])
+        assert "col" in text
+
+    def test_pct(self):
+        assert pct(0.251) == "+25.1%"
+        assert pct(-0.1) == "-10.0%"
+
+
+class TestRecording:
+    def test_record_experiment_writes_json_and_text(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        record_experiment("exp1", {"x": 1.5}, "hello")
+        data = json.loads((tmp_path / "exp1.json").read_text())
+        assert data == {"x": 1.5}
+        assert (tmp_path / "exp1.txt").read_text().strip() == "hello"
+
+    def test_record_without_text(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        record_experiment("exp2", {"y": [1, 2]})
+        assert (tmp_path / "exp2.json").exists()
+        assert not (tmp_path / "exp2.txt").exists()

@@ -1,0 +1,55 @@
+"""Call stacks and source locations."""
+
+import pytest
+
+from repro.runtime.callstack import CallStack, SourceLoc
+
+
+class TestSourceLoc:
+    def test_equality_and_hash(self):
+        a = SourceLoc("f", "x.c", 10)
+        b = SourceLoc("f", "x.c", 10)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ordering_is_defined(self):
+        assert sorted([SourceLoc("b"), SourceLoc("a")])[0].func == "a"
+
+    def test_str_with_and_without_file(self):
+        assert "x.c:10" in str(SourceLoc("f", "x.c", 10))
+        assert str(SourceLoc("f")) == "f"
+
+
+class TestCallStack:
+    def test_default_root_is_main(self):
+        assert CallStack().snapshot() == (SourceLoc("main"),)
+
+    def test_push_pop(self):
+        cs = CallStack()
+        cs.push(SourceLoc("g"))
+        assert cs.depth == 2
+        assert cs.pop() == SourceLoc("g")
+        assert cs.depth == 1
+
+    def test_cannot_pop_root(self):
+        cs = CallStack()
+        with pytest.raises(IndexError):
+            cs.pop()
+
+    def test_snapshot_is_immutable_copy(self):
+        cs = CallStack()
+        cs.push(SourceLoc("g"))
+        snap = cs.snapshot()
+        cs.pop()
+        assert snap == (SourceLoc("main"), SourceLoc("g"))
+
+    def test_with_leaf_appends_access_site(self):
+        cs = CallStack()
+        cs.push(SourceLoc("kernel"))
+        path = cs.with_leaf(SourceLoc("load", "k.c", 42))
+        assert path[-1] == SourceLoc("load", "k.c", 42)
+        assert path[:-1] == cs.snapshot()
+
+    def test_custom_root(self):
+        cs = CallStack(SourceLoc("thread_start"))
+        assert cs.snapshot()[0].func == "thread_start"

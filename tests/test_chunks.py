@@ -1,0 +1,100 @@
+"""Access chunks and their builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProgramError
+from repro.machine import presets
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import (
+    AccessChunk,
+    compute_chunk,
+    indexed_chunk,
+    sweep_chunk,
+)
+from repro.runtime.heap import HeapAllocator
+
+IP = SourceLoc("kernel", "k.c", 1)
+
+
+@pytest.fixture
+def var():
+    machine = presets.generic(n_domains=2, cores_per_domain=1)
+    heap = HeapAllocator(machine)
+    return heap.malloc(8 * 1000, "v", (SourceLoc("main"),))
+
+
+class TestAccessChunk:
+    def test_instruction_floor(self, var):
+        with pytest.raises(ProgramError):
+            AccessChunk(var, var.base + np.arange(10) * 8, 5, IP)
+
+    def test_bounds_check(self, var):
+        with pytest.raises(ProgramError):
+            AccessChunk(var, np.array([var.end]), 1, IP)
+        with pytest.raises(ProgramError):
+            AccessChunk(var, np.array([var.base - 1]), 1, IP)
+
+    def test_n_accesses(self, var):
+        chunk = AccessChunk(var, var.base + np.arange(7) * 8, 100, IP)
+        assert chunk.n_accesses == 7
+
+    def test_addrs_coerced_to_int64(self, var):
+        chunk = AccessChunk(
+            var, (var.base + np.arange(4) * 8).astype(np.float64), 10, IP
+        )
+        assert chunk.addrs.dtype == np.int64
+
+
+class TestComputeChunk:
+    def test_no_memory(self):
+        chunk = compute_chunk(1000, IP)
+        assert chunk.var is None
+        assert chunk.n_accesses == 0
+        assert chunk.n_instructions == 1000
+
+
+class TestSweepChunk:
+    def test_unit_stride_addresses(self, var):
+        chunk = sweep_chunk(var, 10, 5, IP)
+        np.testing.assert_array_equal(
+            chunk.addrs, var.base + (10 + np.arange(5)) * 8
+        )
+
+    def test_strided(self, var):
+        chunk = sweep_chunk(var, 0, 4, IP, stride_elems=8)
+        np.testing.assert_array_equal(np.diff(chunk.addrs), 64)
+
+    def test_elem_size(self, var):
+        chunk = sweep_chunk(var, 0, 4, IP, elem_size=4)
+        np.testing.assert_array_equal(np.diff(chunk.addrs), 4)
+
+    def test_instructions_scale(self, var):
+        chunk = sweep_chunk(var, 0, 100, IP, instructions_per_access=6.0)
+        assert chunk.n_instructions == 600
+
+    def test_instructions_at_least_accesses(self, var):
+        chunk = sweep_chunk(var, 0, 100, IP, instructions_per_access=0.5)
+        assert chunk.n_instructions == 100
+
+    def test_empty_sweep_rejected(self, var):
+        with pytest.raises(ProgramError):
+            sweep_chunk(var, 0, 0, IP)
+
+    def test_store_flag(self, var):
+        assert sweep_chunk(var, 0, 1, IP, is_store=True).is_store
+
+
+class TestIndexedChunk:
+    def test_indirect_addresses(self, var):
+        idx = np.array([5, 2, 9])
+        chunk = indexed_chunk(var, idx, IP)
+        np.testing.assert_array_equal(chunk.addrs, var.base + idx * 8)
+
+    def test_empty_rejected(self, var):
+        with pytest.raises(ProgramError):
+            indexed_chunk(var, np.array([], dtype=np.int64), IP)
+
+    def test_out_of_bounds_index_rejected(self, var):
+        with pytest.raises(ProgramError):
+            indexed_chunk(var, np.array([10_000]), IP)

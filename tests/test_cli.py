@@ -1,0 +1,56 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import WORKLOADS, build_parser, main
+
+
+class TestParser:
+    def test_all_workloads_registered(self):
+        assert set(WORKLOADS) == {
+            "lulesh", "amg", "blackscholes", "umt", "sweep", "hotspot"
+        }
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.machine is None
+        assert not args.optimize
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_mechanism_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--mechanism", "XYZ"])
+
+
+class TestMain:
+    def test_sweep_end_to_end(self, capsys):
+        rc = main(["sweep", "--threads", "8", "--machine", "generic"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lpi_NUMA" in out
+        assert "address-centric view" in out
+        assert "advisor:" in out
+
+    def test_optimize_flag(self, capsys):
+        rc = main(["sweep", "--threads", "8", "--optimize"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimized run" in out
+
+    def test_scatter_binding_and_mrk(self, capsys):
+        rc = main([
+            "sweep", "--threads", "8", "--mechanism", "MRK",
+            "--binding", "scatter",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # MRK path: no latency metric.
+        assert "lpi_NUMA unavailable" in out
+
+    def test_var_override(self, capsys):
+        rc = main(["sweep", "--threads", "4", "--var", "data"])
+        assert rc == 0
+        assert "address-centric view — data" in capsys.readouterr().out

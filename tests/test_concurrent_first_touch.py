@@ -1,0 +1,89 @@
+"""Concurrent first touches (paper Section 6).
+
+"Multiple threads may initialize a variable concurrently in a parallel
+loop, so more than one thread may enter the SIGSEGV handler. Thus,
+multiple threads may concurrently identify first touches and record
+code- and data-centric attributions. Call paths of first touches to the
+same variable from different threads are merged postmortemly."
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import merge_profiles
+from repro.machine import presets
+from repro.machine.pagetable import UNBOUND
+from repro.profiler import NumaProfiler
+from repro.optim.policies import NumaTuning
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS
+from repro.workloads import PartitionedSweep
+
+
+@pytest.fixture
+def parallel_init_run():
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    profiler = NumaProfiler(IBS(period=512))
+    engine = ExecutionEngine(
+        machine,
+        PartitionedSweep(
+            NumaTuning(parallel_init={"data"}), n_elems=400_000, steps=2
+        ),
+        8,
+        monitor=profiler,
+    )
+    engine.run()
+    return machine, profiler.archive
+
+
+class TestConcurrentFirstTouch:
+    def test_multiple_threads_enter_the_handler(self, parallel_init_run):
+        _, arc = parallel_init_run
+        touchers = {
+            tid for tid, p in arc.profiles.items() if p.first_touches
+        }
+        assert len(touchers) == 8  # every thread faulted on its partition
+
+    def test_each_page_trapped_exactly_once(self, parallel_init_run):
+        """Protection is cleared by the first fault: no page is reported
+        by two threads."""
+        _, arc = parallel_init_run
+        all_pages = np.concatenate([
+            ft.pages for p in arc.profiles.values() for ft in p.first_touches
+        ])
+        assert np.unique(all_pages).size == all_pages.size
+
+    def test_interior_pages_covered(self, parallel_init_run):
+        machine, arc = parallel_init_run
+        seg = next(
+            s for s in machine.page_table.segments if s.label == "data"
+        )
+        trapped = np.concatenate([
+            ft.pages for p in arc.profiles.values() for ft in p.first_touches
+        ])
+        interior = seg.n_pages  # allocation is page-aligned with no slack
+        assert trapped.size >= interior - 2
+
+    def test_bindings_match_touchers(self, parallel_init_run):
+        """Each trapped page ends up in its faulting thread's domain."""
+        machine, arc = parallel_init_run
+        seg = next(
+            s for s in machine.page_table.segments if s.label == "data"
+        )
+        assert np.all(seg.domains != UNBOUND)
+        for p in arc.profiles.values():
+            for ft in p.first_touches:
+                local = ft.pages - seg.start_page
+                assert np.all(seg.domains[local] == ft.domain)
+
+    def test_postmortem_merge_combines_paths(self, parallel_init_run):
+        _, arc = parallel_init_run
+        merged = merge_profiles(arc)
+        mv = merged.var("data")
+        assert len(mv.first_touches) == 8
+        # All eight threads hit the same parallel-init context, so the
+        # postmortem merge folds them into one path with summed pages.
+        paths = mv.first_touch_paths()
+        assert len(paths) == 1
+        total = sum(ft.n_pages for ft in mv.first_touches)
+        assert sum(paths.values()) == total

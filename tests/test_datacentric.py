@@ -1,0 +1,79 @@
+"""Data-centric address resolution (the heap/symbol map)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidAddressError
+from repro.machine import presets
+from repro.profiler.datacentric import VariableRegistry
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.heap import HeapAllocator
+
+
+@pytest.fixture
+def setup():
+    machine = presets.generic(n_domains=2, cores_per_domain=1)
+    heap = HeapAllocator(machine)
+    reg = VariableRegistry()
+    a = heap.malloc(8 * 100, "a", (SourceLoc("main"),))
+    b = heap.malloc(8 * 200, "b", (SourceLoc("main"),))
+    g = heap.static_alloc(4096, "g")
+    for v in (a, b, g):
+        reg.register(v)
+    return reg, a, b, g
+
+
+class TestResolve:
+    def test_resolve_addr(self, setup):
+        reg, a, b, g = setup
+        assert reg.resolve_addr(a.base).name == "a"
+        assert reg.resolve_addr(b.base + 100).name == "b"
+        assert reg.resolve_addr(g.base).name == "g"
+
+    def test_last_byte_resolves(self, setup):
+        reg, a, _, _ = setup
+        assert reg.resolve_addr(a.end - 1).name == "a"
+
+    def test_one_past_end_fails(self, setup):
+        reg, a, _, _ = setup
+        with pytest.raises(InvalidAddressError):
+            reg.resolve_addr(a.end)
+
+    def test_unmapped_fails(self, setup):
+        reg, *_ = setup
+        with pytest.raises(InvalidAddressError):
+            reg.resolve_addr(42)
+
+    def test_resolve_batch(self, setup):
+        reg, a, _, _ = setup
+        addrs = a.base + np.arange(0, 800, 8)
+        assert reg.resolve_addrs(addrs).name == "a"
+
+    def test_batch_straddle_detected(self, setup):
+        reg, a, b, _ = setup
+        with pytest.raises(InvalidAddressError):
+            reg.resolve_addrs(np.array([a.base, b.base]))
+
+
+class TestLifecycle:
+    def test_unregister(self, setup):
+        reg, a, *_ = setup
+        reg.unregister(a)
+        with pytest.raises(InvalidAddressError):
+            reg.resolve_addr(a.base)
+
+    def test_unregister_unknown_tolerated(self, setup):
+        reg, a, *_ = setup
+        reg.unregister(a)
+        reg.unregister(a)  # idempotent
+
+    def test_live_variables_sorted(self, setup):
+        reg, *_ = setup
+        bases = [v.base for v in reg.live_variables]
+        assert bases == sorted(bases)
+
+    def test_reregistration_after_free(self, setup):
+        reg, a, *_ = setup
+        reg.unregister(a)
+        reg.register(a)
+        assert reg.resolve_addr(a.base).name == "a"

@@ -1,0 +1,63 @@
+"""Profile diffing: before/after optimization comparison."""
+
+import pytest
+
+from repro.analysis import diff_profiles, merge_profiles
+from repro.machine import presets
+from repro.optim.policies import NumaTuning
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS
+from repro.workloads import PartitionedSweep
+
+
+def profiled(tuning=None):
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    prof = NumaProfiler(IBS(period=512))
+    ExecutionEngine(
+        machine, PartitionedSweep(tuning, n_elems=400_000, steps=3), 8,
+        monitor=prof,
+    ).run()
+    return merge_profiles(prof.archive)
+
+
+@pytest.fixture(scope="module")
+def diff():
+    before = profiled()
+    after = profiled(NumaTuning(parallel_init={"data"}))
+    return diff_profiles(before, after)
+
+
+class TestDiff:
+    def test_remote_fraction_collapses(self, diff):
+        assert diff.remote_before > 0.4
+        assert diff.remote_after < 0.05
+
+    def test_lpi_falls_below_threshold(self, diff):
+        assert diff.lpi_before > 0.1
+        assert diff.lpi_after < diff.lpi_before
+
+    def test_variable_delta(self, diff):
+        v = diff.variable("data")
+        assert v.remote_fraction_delta < -0.4
+        assert v.mismatch_before > 1.0
+        assert v.mismatch_after < 0.1
+        assert v.samples_before > 0 and v.samples_after > 0
+
+    def test_unknown_variable(self, diff):
+        with pytest.raises(KeyError):
+            diff.variable("ghost")
+
+    def test_render(self, diff):
+        text = diff.render()
+        assert "lpi_NUMA" in text
+        assert "data" in text
+        assert "->" in text
+
+    def test_variable_missing_on_one_side(self):
+        before = profiled()
+        after = profiled()
+        del after.vars["data"]
+        d = diff_profiles(before, after)
+        v = d.variable("data")
+        assert v.samples_after == 0.0

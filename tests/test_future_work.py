@@ -1,0 +1,115 @@
+"""Features the paper lists as future work (Section 10), implemented here.
+
+1. Full monitoring of stack variables (instead of manual promotion).
+5. First-touch pinpointing for static variables (page protection at load
+   time).
+(Future work #3, time-varying traces, is covered by test_timeline.py.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import sweep_chunk
+from repro.runtime.heap import VariableKind
+from repro.runtime.program import Region, RegionKind
+from repro.sampling import IBS
+from repro.workloads.base import WorkloadBase
+
+
+class MixedKinds(WorkloadBase):
+    """One variable of each kind: heap, static, and stack."""
+
+    name = "mixed"
+    source_file = "mixed.c"
+    N = 100_000
+
+    def setup(self, ctx):
+        self._alloc(ctx, "h", self.N * 8, (SourceLoc("main"), SourceLoc("malloc")))
+        ctx.heap.static_alloc(self.N * 8, "g")
+        ctx.heap.stack_alloc(self.N * 8, "s", tid=0)
+
+    def regions(self, ctx):
+        def kernel(ctx, tid):
+            for name in ("h", "g", "s"):
+                var = ctx.var(name)
+                lo, hi = ctx.partition(self.N, tid)
+                if hi > lo:
+                    yield sweep_chunk(
+                        var, lo, hi - lo,
+                        SourceLoc(f"use_{name}", "mixed.c", 10),
+                    )
+
+        return self.make_init_regions(ctx, ["h", "g", "s"]) + [
+            Region("use._omp", RegionKind.PARALLEL, kernel, SourceLoc("use._omp"))
+        ]
+
+
+def run(protect_static=False, protect_stack=False):
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    profiler = NumaProfiler(
+        IBS(period=512),
+        protect_static=protect_static,
+        protect_stack=protect_stack,
+    )
+    ExecutionEngine(machine, MixedKinds(), 8, monitor=profiler).run()
+    return profiler.archive
+
+
+class TestStackMonitoring:
+    """Future work #1: detailed analysis of stack variables."""
+
+    def test_stack_variable_fully_attributed(self):
+        arc = run()
+        rec = arc.thread(5).vars["s"]
+        assert rec.kind is VariableKind.STACK
+        assert rec.metrics["NUMA_MISMATCH"] > 0
+        assert rec.range_for() is not None
+
+    def test_stack_first_touch_when_enabled(self):
+        arc = run(protect_stack=True)
+        touched = {
+            ft.var_name for p in arc.profiles.values()
+            for ft in p.first_touches
+        }
+        assert "s" in touched
+
+    def test_stack_not_protected_by_default(self):
+        arc = run()
+        touched = {
+            ft.var_name for p in arc.profiles.values()
+            for ft in p.first_touches
+        }
+        assert "s" not in touched
+
+
+class TestStaticFirstTouch:
+    """Future work #5: protect static variables' pages at load time."""
+
+    def test_static_first_touch_when_enabled(self):
+        arc = run(protect_static=True)
+        records = [
+            ft for p in arc.profiles.values() for ft in p.first_touches
+            if ft.var_name == "g"
+        ]
+        assert records
+        # Pinpointed in the serial init by the master thread.
+        assert records[0].tid == 0
+        assert any("init_g" == f.func for f in records[0].path)
+
+    def test_static_attribution_always_available(self):
+        arc = run()
+        rec = arc.thread(3).vars["g"]
+        assert rec.kind is VariableKind.STATIC
+        assert rec.alloc_path[0].func == "<static data>"
+
+    def test_heap_protection_independent(self):
+        arc = run(protect_static=True, protect_stack=True)
+        touched = {
+            ft.var_name for p in arc.profiles.values()
+            for ft in p.first_touches
+        }
+        assert touched == {"h", "g", "s"}

@@ -1,0 +1,174 @@
+"""Latency model: level latencies, remote penalties, prefetch exposure."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, LEVEL_L2, LEVEL_L3
+from repro.machine.latency import LatencyModel
+from repro.machine.topology import NumaTopology
+
+
+@pytest.fixture
+def topo():
+    return NumaTopology(n_domains=4, cores_per_domain=2)
+
+
+@pytest.fixture
+def model():
+    return LatencyModel(
+        l1=4, l2=12, l3=40, dram_local=200, dram_remote=300,
+        seq_exposure=0.25, remote_exposure_factor=2.0,
+    )
+
+
+def ones(topo):
+    return np.ones(topo.n_domains)
+
+
+class TestValidation:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            LatencyModel(l1=50, l2=12, l3=40, dram_local=200, dram_remote=300)
+
+    def test_remote_below_local_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(dram_local=300, dram_remote=200)
+
+    def test_exposure_bounds(self):
+        with pytest.raises(ValueError):
+            LatencyModel(seq_exposure=0.0)
+
+    def test_remote_ratio(self):
+        m = LatencyModel(dram_local=200, dram_remote=300)
+        assert m.remote_ratio() == pytest.approx(1.5)
+
+
+class TestCacheLevels:
+    def test_level_latencies(self, model, topo):
+        levels = np.array([LEVEL_L1, LEVEL_L2, LEVEL_L3], dtype=np.uint8)
+        lat = model.access_latency(
+            levels, np.zeros(3, dtype=np.int64), 0, topo, ones(topo)
+        )
+        np.testing.assert_allclose(lat, [4, 12, 40])
+
+
+class TestDramLatency:
+    def test_local_vs_remote_random_access(self, model, topo):
+        levels = np.full(2, LEVEL_DRAM, dtype=np.uint8)
+        targets = np.array([0, 1])
+        lat = model.access_latency(
+            levels, targets, 0, topo, ones(topo), sequential=False
+        )
+        assert lat[0] == pytest.approx(200)
+        assert lat[1] > 300  # remote base + hop cost
+
+    def test_hop_cost_scales_with_distance(self, topo):
+        dist = np.array(
+            [[10, 20, 40], [20, 10, 20], [40, 20, 10]], dtype=np.int64
+        )
+        topo3 = NumaTopology(n_domains=3, cores_per_domain=1, distances=dist)
+        m = LatencyModel(hop_cost=10.0)
+        levels = np.full(2, LEVEL_DRAM, dtype=np.uint8)
+        lat = m.access_latency(
+            levels, np.array([1, 2]), 0, topo3, np.ones(3), sequential=False
+        )
+        assert lat[1] > lat[0]
+
+    def test_inflation_multiplies_dram(self, model, topo):
+        levels = np.array([LEVEL_DRAM], dtype=np.uint8)
+        infl = np.array([3.0, 1.0, 1.0, 1.0])
+        lat = model.access_latency(
+            levels, np.array([0]), 0, topo, infl, sequential=False
+        )
+        assert lat[0] == pytest.approx(600)
+
+    def test_inflation_does_not_touch_cache_hits(self, model, topo):
+        levels = np.array([LEVEL_L2], dtype=np.uint8)
+        infl = np.full(4, 5.0)
+        lat = model.access_latency(levels, np.array([0]), 0, topo, infl)
+        assert lat[0] == pytest.approx(12)
+
+
+class TestPrefetchExposure:
+    def test_sequential_mostly_prefetched(self, model, topo):
+        levels = np.full(100, LEVEL_DRAM, dtype=np.uint8)
+        targets = np.zeros(100, dtype=np.int64)
+        lat = model.access_latency(
+            levels, targets, 0, topo, ones(topo), sequential=True
+        )
+        exposed = np.count_nonzero(lat > model.prefetched_latency)
+        assert exposed == pytest.approx(25, abs=2)  # seq_exposure 0.25
+
+    def test_random_fully_exposed(self, model, topo):
+        levels = np.full(50, LEVEL_DRAM, dtype=np.uint8)
+        lat = model.access_latency(
+            levels, np.zeros(50, dtype=np.int64), 0, topo, ones(topo),
+            sequential=False,
+        )
+        assert np.all(lat == pytest.approx(200))
+
+    def test_remote_streams_more_exposed(self, model, topo):
+        levels = np.full(200, LEVEL_DRAM, dtype=np.uint8)
+        local = model.access_latency(
+            levels, np.zeros(200, dtype=np.int64), 0, topo, ones(topo),
+            sequential=True,
+        )
+        remote = model.access_latency(
+            levels, np.ones(200, dtype=np.int64), 0, topo, ones(topo),
+            sequential=True,
+        )
+        exp_local = np.count_nonzero(local > model.prefetched_latency)
+        exp_remote = np.count_nonzero(remote > model.prefetched_latency)
+        assert exp_remote == pytest.approx(2 * exp_local, rel=0.2)
+
+    def test_contention_degrades_prefetch(self, model, topo):
+        """Saturated controllers expose more fetches (the Fig. 1 coupling)."""
+        levels = np.full(200, LEVEL_DRAM, dtype=np.uint8)
+        targets = np.zeros(200, dtype=np.int64)
+        quiet = model.access_latency(
+            levels, targets, 0, topo, ones(topo), sequential=True
+        )
+        loud = model.access_latency(
+            levels, targets, 0, topo, np.array([3.0, 1, 1, 1]),
+            sequential=True,
+        )
+        assert loud.sum() > quiet.sum()
+
+    def test_interleave_penalty_raises_exposure(self, topo):
+        m = LatencyModel(seq_exposure=0.1, interleave_stream_penalty=4.0)
+        levels = np.full(200, LEVEL_DRAM, dtype=np.uint8)
+        targets = np.zeros(200, dtype=np.int64)
+        plain = m.access_latency(
+            levels, targets, 0, topo, ones(topo), sequential=True
+        )
+        interleaved = m.access_latency(
+            levels, targets, 0, topo, ones(topo),
+            sequential=True, interleaved=True,
+        )
+        assert interleaved.sum() > plain.sum()
+
+    def test_exposure_capped_at_one(self, topo):
+        m = LatencyModel(seq_exposure=0.9, remote_exposure_factor=5.0)
+        levels = np.full(50, LEVEL_DRAM, dtype=np.uint8)
+        lat = m.access_latency(
+            levels, np.ones(50, dtype=np.int64), 0, topo, ones(topo),
+            sequential=True,
+        )
+        # Everything exposed; none at the prefetched latency.
+        assert np.all(lat > m.prefetched_latency)
+
+
+class TestDemandMask:
+    def test_separates_demand_from_prefetched(self, model, topo):
+        levels = np.full(100, LEVEL_DRAM, dtype=np.uint8)
+        lat = model.access_latency(
+            levels, np.zeros(100, dtype=np.int64), 0, topo, ones(topo),
+            sequential=True,
+        )
+        mask = model.demand_mask(lat, levels)
+        assert np.array_equal(mask, lat >= 200 * 0.95)
+
+    def test_cache_hits_never_demand(self, model, topo):
+        levels = np.array([LEVEL_L3], dtype=np.uint8)
+        lat = np.array([400.0])  # even with high latency value
+        assert not model.demand_mask(lat, levels)[0]

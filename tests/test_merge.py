@@ -1,0 +1,179 @@
+"""Profile merging with the [min, max] custom reduction (Section 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.merge import merge_profiles, merge_ranges
+from repro.errors import ProfileError
+from repro.profiler.metrics import MetricNames
+from repro.profiler.profile_data import ProfileArchive
+from repro.runtime.callstack import SourceLoc
+
+
+class TestMergeRanges:
+    def test_min_max_reduction(self):
+        assert merge_ranges([(5, 10), (2, 7), (8, 20)]) == (2, 20)
+
+    def test_ignores_unset(self):
+        assert merge_ranges([(np.inf, -np.inf), (3, 4)]) == (3, 4)
+
+    def test_all_unset(self):
+        assert merge_ranges([(np.inf, -np.inf)]) is None
+        assert merge_ranges([]) is None
+
+
+class TestMergeProfiles:
+    def test_empty_archive_rejected(self):
+        arc = ProfileArchive("p", "m", 4, "IBS", None)
+        with pytest.raises(ProfileError):
+            merge_profiles(arc)
+
+    def test_counters_sum(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        expected = sum(
+            p.counters["instructions"] for p in arc.profiles.values()
+        )
+        assert merged.counters["instructions"] == expected
+
+    def test_cct_metrics_sum_across_threads(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        per_thread = sum(
+            p.cct.total(MetricNames.SAMPLES) for p in arc.profiles.values()
+        )
+        assert merged.cct.total(MetricNames.SAMPLES) == per_thread
+
+    def test_var_metrics_sum(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        mv = merged.var("a")
+        expected = sum(
+            p.vars["a"].metrics[MetricNames.SAMPLES]
+            for p in arc.profiles.values()
+            if "a" in p.vars
+        )
+        assert mv.metrics[MetricNames.SAMPLES] == expected
+
+    def test_bin_metrics_preserved(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        mv = merged.var("a")
+        assert len(mv.bin_metrics) == mv.n_bins
+        bin_total = sum(
+            b.get(MetricNames.SAMPLES, 0.0) for b in mv.bin_metrics
+        )
+        assert bin_total == pytest.approx(mv.metrics[MetricNames.SAMPLES])
+
+    def test_per_thread_ranges_preserved(self, toy_archive):
+        """The address-centric view needs each thread's own range."""
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        ranges = merged.var("a").ranges_for()
+        assert set(ranges) == set(range(8))
+        # Worker slices are disjoint and ascending by tid (blocked pattern).
+        mids = [np.mean(ranges[t]) for t in range(1, 8)]
+        assert mids == sorted(mids)
+
+    def test_normalized_ranges_in_unit_interval(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        for lo, hi in merged.var("a").normalized_ranges().values():
+            assert 0.0 <= lo <= hi <= 1.0 + 1e-9
+
+    def test_context_scoped_ranges(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        mv = merged.var("a")
+        compute_ctx = next(
+            p for p in mv.contexts() if any("compute" in f.func for f in p)
+        )
+        scoped = mv.normalized_ranges(compute_ctx)
+        # Thread 0's compute slice is narrow even though its whole-program
+        # range (including init) spans everything.
+        lo, hi = scoped[0]
+        assert hi - lo < 0.2
+
+    def test_first_touches_merged_to_variable(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        mv = merged.var("a")
+        assert len(mv.first_touches) == 1
+        paths = mv.first_touch_paths()
+        assert len(paths) == 1
+        assert sum(paths.values()) == mv.first_touches[0].n_pages
+
+    def test_totals_match_cct(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        totals = merged.totals()
+        assert totals[MetricNames.SAMPLES] == merged.cct.total(MetricNames.SAMPLES)
+
+    def test_unknown_var_raises(self, toy_archive):
+        _, _, arc = toy_archive
+        merged = merge_profiles(arc)
+        with pytest.raises(ProfileError):
+            merged.var("ghost")
+
+
+# ---------------------------------------------------------------------- #
+# property-based tests
+# ---------------------------------------------------------------------- #
+
+from hypothesis import given, settings, strategies as st
+
+finite_ranges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    ).map(lambda t: (min(t), max(t))),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(ranges=finite_ranges)
+@settings(max_examples=50, deadline=None)
+def test_merge_ranges_brackets_all_inputs(ranges):
+    """[min, max] reduction result contains every input range."""
+    lo, hi = merge_ranges(ranges)
+    for a, b in ranges:
+        assert lo <= a and b <= hi
+    assert (lo, hi) in [
+        (min(a for a, _ in ranges), max(b for _, b in ranges))
+    ]
+
+
+@given(ranges=finite_ranges)
+@settings(max_examples=50, deadline=None)
+def test_merge_ranges_is_order_invariant_and_idempotent(ranges):
+    merged = merge_ranges(ranges)
+    assert merge_ranges(list(reversed(ranges))) == merged
+    assert merge_ranges([merged, merged]) == merged
+
+
+@given(
+    split_at=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=8, deadline=None)
+def test_merge_is_associative_over_thread_subsets(split_at, toy_archive_factory):
+    """Merging all threads at once equals merging disjoint subsets'
+    metrics and summing — the property that lets hpcprof process
+    profile files in any order."""
+    arc = toy_archive_factory()
+    full = merge_profiles(arc)
+
+    import copy
+
+    left = copy.copy(arc)
+    left.profiles = {t: p for t, p in arc.profiles.items() if t < split_at}
+    right = copy.copy(arc)
+    right.profiles = {t: p for t, p in arc.profiles.items() if t >= split_at}
+    m_l, m_r = merge_profiles(left), merge_profiles(right)
+
+    for key, value in full.counters.items():
+        assert m_l.counters.get(key, 0) + m_r.counters.get(key, 0) == value
+    t_full = full.totals()
+    t_l, t_r = m_l.totals(), m_r.totals()
+    for key, value in t_full.items():
+        assert t_l.get(key, 0.0) + t_r.get(key, 0.0) == pytest.approx(value)

@@ -1,0 +1,109 @@
+"""Derived NUMA metrics: lpi_NUMA equations, ratios, thresholds."""
+
+import pytest
+
+from repro.profiler.metrics import (
+    LPI_THRESHOLD,
+    MetricNames,
+    domain_request_counts,
+    lpi_numa,
+    mismatch_ratio,
+    remote_fraction,
+    warrants_optimization,
+)
+from repro.sampling import IBS, MRK, PEBSLL, SoftIBS
+
+
+class TestLpiEquation2:
+    """IBS path: lpi ~= l^s_NUMA / I^s (paper eq. 2)."""
+
+    def test_basic_ratio(self):
+        metrics = {
+            MetricNames.LAT_REMOTE: 500.0,
+            MetricNames.SAMPLED_INSTR: 1000.0,
+        }
+        assert lpi_numa(metrics, IBS.capabilities) == pytest.approx(0.5)
+
+    def test_zero_sampled_instructions(self):
+        assert lpi_numa({MetricNames.LAT_REMOTE: 5.0}, IBS.capabilities) == 0.0
+
+    def test_no_remote_latency(self):
+        metrics = {MetricNames.SAMPLED_INSTR: 1000.0}
+        assert lpi_numa(metrics, IBS.capabilities) == 0.0
+
+
+class TestLpiEquation3:
+    """PEBS-LL path: lpi ~= (l^s/E^s) * (E_NUMA / I) (paper eq. 3)."""
+
+    def test_basic(self):
+        metrics = {
+            MetricNames.LAT_REMOTE: 3000.0,     # over 10 sampled remote events
+            MetricNames.NUMA_MISMATCH: 10.0,
+            MetricNames.EVENTS_NUMA: 5000.0,    # absolute remote events
+            MetricNames.INSTR: 1_000_000.0,
+        }
+        # avg 300 cycles x 5e3/1e6 events per instruction = 1.5.
+        assert lpi_numa(metrics, PEBSLL.capabilities) == pytest.approx(1.5)
+
+    def test_no_samples(self):
+        metrics = {MetricNames.INSTR: 100.0, MetricNames.EVENTS_NUMA: 10.0}
+        assert lpi_numa(metrics, PEBSLL.capabilities) == 0.0
+
+    def test_no_instructions(self):
+        metrics = {
+            MetricNames.LAT_REMOTE: 100.0,
+            MetricNames.NUMA_MISMATCH: 1.0,
+            MetricNames.EVENTS_NUMA: 10.0,
+        }
+        assert lpi_numa(metrics, PEBSLL.capabilities) == 0.0
+
+
+class TestLpiUnavailable:
+    def test_mrk_has_no_lpi(self):
+        metrics = {MetricNames.LAT_REMOTE: 100.0, MetricNames.SAMPLED_INSTR: 10.0}
+        assert lpi_numa(metrics, MRK.capabilities) is None
+
+    def test_soft_ibs_has_no_lpi(self):
+        assert lpi_numa({}, SoftIBS.capabilities) is None
+
+
+class TestRatios:
+    def test_remote_fraction(self):
+        metrics = {MetricNames.NUMA_MATCH: 25.0, MetricNames.NUMA_MISMATCH: 75.0}
+        assert remote_fraction(metrics) == pytest.approx(0.75)
+
+    def test_remote_fraction_empty(self):
+        assert remote_fraction({}) == 0.0
+
+    def test_mismatch_ratio_seven(self):
+        metrics = {MetricNames.NUMA_MATCH: 100.0, MetricNames.NUMA_MISMATCH: 700.0}
+        assert mismatch_ratio(metrics) == pytest.approx(7.0)
+
+    def test_mismatch_ratio_all_remote(self):
+        assert mismatch_ratio({MetricNames.NUMA_MISMATCH: 5.0}) == float("inf")
+
+    def test_mismatch_ratio_no_samples(self):
+        assert mismatch_ratio({}) == 0.0
+
+
+class TestDomainCounts:
+    def test_series(self):
+        metrics = {MetricNames.numa_node(0): 10.0, MetricNames.numa_node(2): 5.0}
+        assert domain_request_counts(metrics, 4) == [10.0, 0.0, 5.0, 0.0]
+
+    def test_metric_name_format(self):
+        assert MetricNames.numa_node(3) == "NUMA_NODE3"
+
+
+class TestThreshold:
+    def test_paper_value(self):
+        assert LPI_THRESHOLD == 0.1
+
+    def test_warrants_above(self):
+        assert warrants_optimization(0.466)
+
+    def test_not_below(self):
+        assert not warrants_optimization(0.035)
+
+    def test_none_never_warrants(self):
+        assert not warrants_optimization(None)

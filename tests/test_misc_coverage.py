@@ -1,0 +1,119 @@
+"""Remaining small-surface coverage: segment helpers, classification
+objects, timeline buckets, and engine edge conditions."""
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, ChunkClassification
+from repro.machine.pagetable import PlacementPolicy
+from repro.profiler.timeline import TimelineBucket
+from repro.runtime import ExecutionEngine
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import compute_chunk
+from repro.runtime.program import Region, RegionKind
+
+
+class TestSegmentHelpers:
+    def test_page_index(self):
+        machine = presets.generic()
+        seg = machine.map_segment(8 * 4096, 4 * 4096)
+        assert seg.page_index(8) == 0
+        np.testing.assert_array_equal(
+            seg.page_index(np.array([9, 11])), [1, 3]
+        )
+
+    def test_bound_fraction(self):
+        machine = presets.generic()
+        seg = machine.map_segment(0, 4 * 4096)
+        assert seg.bound_fraction() == 0.0
+        machine.page_table.touch_pages(np.array([0, 1]), cpu=0)
+        assert seg.bound_fraction() == 0.5
+        seg2 = machine.map_segment(
+            1 << 20, 4 * 4096, PlacementPolicy.BIND, domains=[1]
+        )
+        assert seg2.bound_fraction() == 1.0
+
+
+class TestChunkClassification:
+    def test_n_fetches(self):
+        levels = np.array([LEVEL_L1, LEVEL_DRAM, LEVEL_L1, LEVEL_DRAM],
+                          dtype=np.uint8)
+        cls = ChunkClassification(levels, True, 128)
+        assert cls.n_fetches == 2
+
+
+class TestTimelineBucket:
+    def test_remote_fraction_empty(self):
+        assert TimelineBucket("r", 0).remote_fraction() == 0.0
+
+    def test_remote_fraction(self):
+        b = TimelineBucket("r", 0)
+        b.metrics["NUMA_MATCH"] = 1.0
+        b.metrics["NUMA_MISMATCH"] = 3.0
+        assert b.remote_fraction() == pytest.approx(0.75)
+
+
+class TestEngineEdges:
+    def test_empty_region_kernel(self, small_machine):
+        class Empty:
+            name = "empty"
+
+            def setup(self, ctx):
+                pass
+
+            def regions(self, ctx):
+                def kernel(ctx, tid):
+                    return iter(())
+
+                return [
+                    Region("r._omp", RegionKind.PARALLEL, kernel,
+                           SourceLoc("r._omp"))
+                ]
+
+        res = ExecutionEngine(small_machine, Empty(), 4).run()
+        assert res.wall_cycles == 0.0
+        assert res.total_accesses == 0
+
+    def test_program_with_no_regions(self, small_machine):
+        class NoRegions:
+            name = "none"
+
+            def setup(self, ctx):
+                pass
+
+            def regions(self, ctx):
+                return []
+
+        res = ExecutionEngine(small_machine, NoRegions(), 2).run()
+        assert res.wall_cycles == 0.0
+
+    def test_single_thread_parallel_region(self, small_machine):
+        class One:
+            name = "one"
+
+            def setup(self, ctx):
+                pass
+
+            def regions(self, ctx):
+                def kernel(ctx, tid):
+                    yield compute_chunk(100, SourceLoc("k"))
+
+                return [
+                    Region("r._omp", RegionKind.PARALLEL, kernel,
+                           SourceLoc("r._omp"))
+                ]
+
+        res = ExecutionEngine(small_machine, One(), 1).run()
+        assert res.total_instructions == 100
+
+
+class TestLibNumaArena:
+    def test_many_allocations_never_collide(self):
+        from repro.machine.libnuma import LibNuma
+
+        numa = LibNuma(presets.generic())
+        segs = [numa.numa_alloc_onnode(1000, node=0) for _ in range(50)]
+        starts = sorted((s.base, s.end) for s in segs)
+        for (a0, a1), (b0, b1) in zip(starts[:-1], starts[1:]):
+            assert a1 <= b0

@@ -1,0 +1,128 @@
+"""Pattern classification from per-thread ranges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.patterns import (
+    AccessPattern,
+    blockwise_domains_from_ranges,
+    classify_ranges,
+)
+
+
+def blocked(n=8, width=None):
+    width = width if width is not None else 1.0 / n
+    return {t: (t / n, t / n + width) for t in range(n)}
+
+
+def staggered(n=8):
+    """Ascending starts, ~80% coverage each (the Blackscholes shape)."""
+    return {t: (0.2 * t / n, 0.8 + 0.2 * t / n) for t in range(n)}
+
+
+def uniform(n=8):
+    return {t: (0.0, 1.0) for t in range(n)}
+
+
+def irregular(n=8, seed=3):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for t in range(n):
+        lo = rng.uniform(0, 0.7)
+        out[t] = (lo, lo + rng.uniform(0.05, 0.3))
+    return out
+
+
+class TestClassification:
+    def test_blocked(self):
+        assert classify_ranges(blocked()).pattern is AccessPattern.BLOCKED
+
+    def test_blocked_descending_tids(self):
+        ranges = {t: ((7 - t) / 8, (8 - t) / 8) for t in range(8)}
+        assert classify_ranges(ranges).pattern is AccessPattern.BLOCKED
+
+    def test_staggered_overlap(self):
+        rep = classify_ranges(staggered())
+        assert rep.pattern is AccessPattern.STAGGERED_OVERLAP
+        assert rep.mean_overlap > 0.5
+
+    def test_uniform(self):
+        assert classify_ranges(uniform()).pattern is AccessPattern.UNIFORM_ALL
+
+    def test_irregular(self):
+        assert classify_ranges(irregular()).pattern is AccessPattern.IRREGULAR
+
+    def test_single_thread(self):
+        rep = classify_ranges({0: (0.0, 1.0)})
+        assert rep.pattern is AccessPattern.SINGLE_THREAD
+
+    def test_empty(self):
+        assert classify_ranges({}).pattern is AccessPattern.IRREGULAR
+
+    def test_report_statistics(self):
+        rep = classify_ranges(blocked())
+        assert rep.n_threads == 8
+        assert rep.mean_coverage == pytest.approx(1 / 8)
+        assert rep.midpoint_monotonicity == pytest.approx(1.0)
+
+
+class TestBlockwiseDomains:
+    def test_blocked_pattern_maps_identity(self):
+        ranges = blocked(8)
+        tdom = {t: t // 2 for t in range(8)}  # 2 threads per domain
+        order = blockwise_domains_from_ranges(ranges, tdom, 4)
+        assert order == [0, 1, 2, 3]
+
+    def test_init_thread_outvoted(self):
+        """A thread covering everything (serial init) must not dominate."""
+        ranges = blocked(8)
+        ranges[0] = (0.0, 1.0)
+        tdom = {t: t // 2 for t in range(8)}
+        order = blockwise_domains_from_ranges(ranges, tdom, 4)
+        assert order[1:] == [1, 2, 3]
+
+    def test_no_votes_falls_back_round_robin(self):
+        order = blockwise_domains_from_ranges({}, {}, 3)
+        assert order == [0, 1, 2]
+
+
+@given(
+    n=st.integers(min_value=2, max_value=32),
+    jitter=st.floats(min_value=0.0, max_value=0.02),
+)
+@settings(max_examples=40, deadline=None)
+def test_blocked_detection_robust_to_jitter(n, jitter):
+    """Blocked partitions with small boundary noise still classify blocked."""
+    rng = np.random.default_rng(0)
+    ranges = {
+        t: (
+            max(0.0, t / n - jitter * rng.random()),
+            min(1.0, (t + 1) / n + jitter * rng.random()),
+        )
+        for t in range(n)
+    }
+    assert classify_ranges(ranges).pattern is AccessPattern.BLOCKED
+
+
+@given(perm_seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_classification_ignores_tid_relabeling_monotonicity(perm_seed):
+    """Shuffling which thread owns which block destroys monotonicity, so
+    blocked slices under a random thread assignment classify irregular
+    (this is exactly AMG's matvec decomposition, Fig. 4)."""
+    rng = np.random.default_rng(perm_seed)
+    n = 16
+    perm = rng.permutation(n)
+    ranges = {t: (perm[t] / n, (perm[t] + 1) / n) for t in range(n)}
+    rep = classify_ranges(ranges)
+    if np.all(perm == np.arange(n)) or np.all(perm == np.arange(n)[::-1]):
+        assert rep.pattern is AccessPattern.BLOCKED
+    else:
+        assert rep.pattern in (
+            AccessPattern.IRREGULAR, AccessPattern.BLOCKED,
+            AccessPattern.STAGGERED_OVERLAP,
+        )
+        # Strong shuffles must not classify blocked.
+        if abs(rep.midpoint_monotonicity) < 0.5:
+            assert rep.pattern is AccessPattern.IRREGULAR

@@ -1,0 +1,65 @@
+"""Tuning configurations."""
+
+import pytest
+
+from repro.machine.pagetable import PlacementPolicy
+from repro.optim.policies import (
+    NumaTuning,
+    PlacementSpec,
+    blockwise_all,
+    interleave_all,
+)
+
+
+class TestPlacementSpec:
+    def test_domain_list(self):
+        spec = PlacementSpec(PlacementPolicy.BLOCKWISE, (0, 1, 2))
+        assert spec.domain_list() == [0, 1, 2]
+
+    def test_no_domains(self):
+        assert PlacementSpec(PlacementPolicy.FIRST_TOUCH).domain_list() is None
+
+    def test_hashable_frozen(self):
+        a = PlacementSpec(PlacementPolicy.BIND, (1,))
+        assert a == PlacementSpec(PlacementPolicy.BIND, (1,))
+
+
+class TestNumaTuning:
+    def test_empty_defaults(self):
+        t = NumaTuning()
+        assert t.spec_for("x") is None
+        assert not t.inits_in_parallel("x")
+        assert not t.is_regrouped("x")
+        assert "baseline" in t.describe()
+
+    def test_queries(self):
+        t = NumaTuning(
+            placement={"a": PlacementSpec(PlacementPolicy.INTERLEAVE)},
+            parallel_init={"b"},
+            regroup={"c"},
+        )
+        assert t.spec_for("a").policy is PlacementPolicy.INTERLEAVE
+        assert t.inits_in_parallel("b")
+        assert t.is_regrouped("c")
+
+    def test_describe_lists_changes(self):
+        t = NumaTuning(parallel_init={"b"}, regroup={"c"})
+        text = t.describe()
+        assert "b: parallel first-touch init" in text
+        assert "c: layout regrouped" in text
+
+
+class TestHelpers:
+    def test_blockwise_all(self):
+        t = blockwise_all(["x", "y"], 4)
+        assert t.spec_for("x").policy is PlacementPolicy.BLOCKWISE
+        assert t.spec_for("y").domains == (0, 1, 2, 3)
+
+    def test_interleave_all(self):
+        t = interleave_all(["x"], 8)
+        spec = t.spec_for("x")
+        assert spec.policy is PlacementPolicy.INTERLEAVE
+        assert len(spec.domains) == 8
+
+    def test_interleave_all_default_domains(self):
+        assert interleave_all(["x"]).spec_for("x").domains is None

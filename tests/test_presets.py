@@ -1,0 +1,68 @@
+"""Machine presets: the five Table 1 architectures."""
+
+import pytest
+
+from repro.machine import presets
+
+
+class TestMagnyCours:
+    def test_structure(self):
+        m = presets.magny_cours()
+        assert m.n_domains == 8
+        assert m.n_cpus == 48
+        assert m.topology.smt == 1
+
+    def test_intra_package_dies_are_closer(self):
+        m = presets.magny_cours()
+        assert m.topology.distance(0, 1) < m.topology.distance(0, 2)
+
+    def test_remote_ratio_exceeds_paper_threshold(self):
+        # Paper Section 2: remote accesses >30% higher latency.
+        assert presets.magny_cours().latency_model.remote_ratio() > 1.3
+
+
+class TestPower7:
+    def test_structure(self):
+        m = presets.power7()
+        assert m.n_domains == 4
+        assert m.n_cpus == 128  # 4 sockets x 8 cores x SMT4
+        assert m.topology.smt == 4
+
+    def test_interleave_penalty_configured(self):
+        # The POWER7 regression mechanism must be active.
+        assert presets.power7().latency_model.interleave_stream_penalty > 1.0
+
+
+class TestIntelPresets:
+    @pytest.mark.parametrize(
+        "factory", [presets.xeon_harpertown, presets.itanium2, presets.ivy_bridge]
+    )
+    def test_eight_threads_two_domains(self, factory):
+        m = factory()
+        assert m.n_cpus == 8
+        assert m.n_domains == 2
+
+    def test_remote_ratios(self):
+        for factory in (
+            presets.xeon_harpertown, presets.itanium2, presets.ivy_bridge
+        ):
+            assert factory().latency_model.remote_ratio() > 1.3
+
+
+class TestGenericAndRegistry:
+    def test_generic_configurable(self):
+        m = presets.generic(n_domains=2, cores_per_domain=3, smt=2)
+        assert m.n_cpus == 12
+
+    def test_registry_covers_table1_hosts(self):
+        for name in (
+            "magny_cours", "power7", "xeon_harpertown", "itanium2", "ivy_bridge"
+        ):
+            assert name in presets.PRESETS
+            machine = presets.PRESETS[name]()
+            assert machine.n_domains >= 2
+
+    def test_presets_are_fresh_instances(self):
+        a, b = presets.magny_cours(), presets.magny_cours()
+        assert a is not b
+        assert a.page_table is not b.page_table

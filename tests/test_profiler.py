@@ -1,0 +1,173 @@
+"""The online profiler: attribution correctness against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.profiler import NumaProfiler
+from repro.profiler.cct import DUMMY_ACCESS, DUMMY_FIRST_TOUCH
+from repro.profiler.metrics import MetricNames
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS, MRK, SoftIBS
+
+from tests.conftest import ToyProgram
+
+
+def run_toy(mechanism, n_threads=8, **toy_kwargs):
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    profiler = NumaProfiler(mechanism)
+    engine = ExecutionEngine(
+        machine, ToyProgram(**toy_kwargs), n_threads, monitor=profiler
+    )
+    result = engine.run()
+    return engine, result, profiler.archive
+
+
+class TestArchiveStructure:
+    def test_one_profile_per_thread(self):
+        _, _, arc = run_toy(IBS(period=512))
+        assert sorted(arc.profiles) == list(range(8))
+        assert arc.mechanism_name == "IBS"
+        assert arc.n_domains == 4
+
+    def test_run_result_attached(self):
+        _, result, arc = run_toy(IBS(period=512))
+        assert arc.run_result is result
+
+
+class TestLocalRemoteClassification:
+    def test_worker_thread_sees_all_remote(self):
+        """Thread 7 (domain 3) accessing domain-0 pages: M_l == 0."""
+        _, _, arc = run_toy(IBS(period=256))
+        rec = arc.thread(7).vars["a"]
+        assert rec.metrics[MetricNames.NUMA_MISMATCH] > 0
+        assert rec.metrics.get(MetricNames.NUMA_MATCH, 0.0) == 0.0
+
+    def test_domain0_thread_sees_all_local(self):
+        _, _, arc = run_toy(IBS(period=256))
+        rec = arc.thread(1).vars["a"]  # cpu 1 -> domain 0
+        assert rec.metrics[MetricNames.NUMA_MATCH] > 0
+        assert rec.metrics.get(MetricNames.NUMA_MISMATCH, 0.0) == 0.0
+
+    def test_domain_counts_point_at_domain0(self):
+        _, _, arc = run_toy(IBS(period=256))
+        rec = arc.thread(5).vars["a"]
+        n0 = rec.metrics[MetricNames.numa_node(0)]
+        assert n0 == rec.metrics[MetricNames.NUMA_MATCH] + rec.metrics[
+            MetricNames.NUMA_MISMATCH
+        ]
+        assert rec.metrics.get(MetricNames.numa_node(2), 0.0) == 0.0
+
+
+class TestAddressCentric:
+    def test_worker_range_matches_partition(self):
+        engine, _, arc = run_toy(IBS(period=64))
+        rec = arc.thread(5).vars["a"]
+        lo, hi = rec.range_for()
+        n = 200_000
+        exp_lo = rec.base + (5 * n // 8) * 8
+        exp_hi = rec.base + (6 * n // 8) * 8
+        assert exp_lo <= lo < exp_lo + 8 * 2000  # sampling granularity slack
+        assert exp_hi - 8 * 2000 < hi <= exp_hi
+
+    def test_master_covers_whole_variable(self):
+        _, _, arc = run_toy(IBS(period=64))
+        rec = arc.thread(0).vars["a"]
+        lo, hi = rec.range_for()
+        assert (hi - lo) / rec.nbytes > 0.95
+
+
+class TestFirstTouch:
+    def test_master_thread_records_first_touches(self):
+        _, _, arc = run_toy(IBS(period=512))
+        fts = arc.thread(0).first_touches
+        assert len(fts) == 1
+        ft = fts[0]
+        assert ft.var_name == "a"
+        # All interior pages trapped in one chunk-level fault batch.
+        assert ft.n_pages >= 200_000 * 8 // 4096 - 2
+        assert any(f.func == "init_loop" for f in ft.path)
+
+    def test_workers_record_none(self):
+        _, _, arc = run_toy(IBS(period=512))
+        for tid in range(1, 8):
+            assert arc.thread(tid).first_touches == []
+
+    def test_first_touch_in_data_cct(self):
+        _, _, arc = run_toy(IBS(period=512))
+        nodes = [
+            n for n in arc.thread(0).data_cct.root.walk()
+            if n.frame == DUMMY_FIRST_TOUCH
+        ]
+        assert len(nodes) == 1
+
+    def test_protection_disabled(self):
+        machine = presets.generic(n_domains=4, cores_per_domain=2)
+        profiler = NumaProfiler(IBS(period=512), protect_heap=False)
+        ExecutionEngine(machine, ToyProgram(), 8, monitor=profiler).run()
+        assert profiler.archive.thread(0).first_touches == []
+
+
+class TestCodeCentric:
+    def test_compute_loop_in_cct(self):
+        _, _, arc = run_toy(IBS(period=256))
+        cct = arc.thread(3).cct
+        nodes = cct.find("compute_loop")
+        assert len(nodes) == 1
+        assert nodes[0].metrics[MetricNames.SAMPLES] > 0
+
+    def test_instructions_attributed_exactly(self):
+        _, _, arc = run_toy(IBS(period=256), n_threads=4)
+        prof = arc.thread(2)
+        assert prof.cct.total(MetricNames.INSTR) == prof.counters["instructions"]
+
+    def test_data_cct_under_alloc_path(self):
+        _, _, arc = run_toy(IBS(period=256))
+        data_cct = arc.thread(3).data_cct
+        dummy_nodes = [
+            n for n in data_cct.root.walk() if n.frame == DUMMY_ACCESS
+        ]
+        assert dummy_nodes
+        # The allocation frame is an ancestor of the dummy.
+        anc = dummy_nodes[0]
+        funcs = set()
+        while anc is not None:
+            funcs.add(anc.frame.func)
+            anc = anc.parent
+        assert "operator new[]" in funcs
+
+
+class TestCounters:
+    def test_sampling_rate_consistency(self):
+        _, _, arc = run_toy(IBS(period=1000), n_threads=4)
+        for prof in arc.profiles.values():
+            expected = prof.counters["instructions"] // 1000
+            assert prof.counters["sampled_instructions"] == pytest.approx(
+                expected, abs=2
+            )
+
+    def test_events_counter_mrk(self):
+        _, _, arc = run_toy(MRK(max_rate=1e9), n_threads=4)
+        total_events = sum(
+            p.counters["events"] for p in arc.profiles.values()
+        )
+        assert total_events > 0
+
+
+class TestOverheadCharging:
+    def test_soft_ibs_costs_more_than_ibs(self):
+        machine_a = presets.generic(n_domains=4, cores_per_domain=2)
+        machine_b = presets.generic(n_domains=4, cores_per_domain=2)
+        res_ibs = ExecutionEngine(
+            machine_a, ToyProgram(), 8, monitor=NumaProfiler(IBS())
+        ).run()
+        res_soft = ExecutionEngine(
+            machine_b, ToyProgram(), 8, monitor=NumaProfiler(SoftIBS())
+        ).run()
+        assert res_soft.monitor_overhead_cycles > res_ibs.monitor_overhead_cycles
+        assert res_soft.wall_cycles > res_ibs.wall_cycles
+
+    def test_footprint_under_paper_bound(self):
+        _, _, arc = run_toy(IBS(period=128))
+        # Paper: aggregate runtime footprint < 40 MB.
+        assert arc.footprint_bytes() < 40 * 1024 * 1024

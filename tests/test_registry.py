@@ -1,0 +1,67 @@
+"""Mechanism registry and the Table 1 configuration data."""
+
+import pytest
+
+from repro.errors import MechanismError
+from repro.sampling import MECHANISMS, create_mechanism, table1_config
+from repro.sampling.registry import TABLE1
+
+
+class TestRegistry:
+    def test_all_six_mechanisms_present(self):
+        assert set(MECHANISMS) == {
+            "IBS", "MRK", "PEBS", "DEAR", "PEBS-LL", "Soft-IBS"
+        }
+
+    def test_create_with_default_period(self):
+        for name, cls in MECHANISMS.items():
+            mech = create_mechanism(name)
+            assert mech.period == cls.DEFAULT_PERIOD
+
+    def test_create_with_custom_period(self):
+        assert create_mechanism("IBS", period=123).period == 123
+
+    def test_unknown_mechanism(self):
+        with pytest.raises(MechanismError):
+            create_mechanism("XYZ")
+
+
+class TestTable1:
+    def test_six_rows(self):
+        assert len(TABLE1) == 6
+
+    def test_paper_periods(self):
+        assert table1_config("IBS").period == 64 * 1024
+        assert table1_config("MRK").period == 1
+        assert table1_config("PEBS").period == 1_000_000
+        assert table1_config("DEAR").period == 20_000
+        assert table1_config("PEBS-LL").period == 500_000
+        assert table1_config("Soft-IBS").period == 10_000_000
+
+    def test_paper_events(self):
+        assert table1_config("MRK").event == "PM_MRK_FROM_L3MISS"
+        assert table1_config("PEBS").event == "INST_RETIRED:ANY_P"
+        assert table1_config("DEAR").event == "DATA_EAR_CACHE_LAT4"
+        assert table1_config("PEBS-LL").event == "LATENCY_ABOVE_THRESHOLD"
+
+    def test_paper_thread_counts(self):
+        assert table1_config("IBS").threads == 48
+        assert table1_config("MRK").threads == 128
+        assert table1_config("Soft-IBS").threads == 48
+        for name in ("PEBS", "DEAR", "PEBS-LL"):
+            assert table1_config(name).threads == 8
+
+    def test_presets_resolve(self):
+        from repro.machine import presets
+
+        for row in TABLE1:
+            machine = presets.PRESETS[row.preset]()
+            assert machine.n_cpus >= row.threads
+
+    def test_default_periods_match_table1(self):
+        for row in TABLE1:
+            assert create_mechanism(row.mechanism).period == row.period
+
+    def test_unknown_row(self):
+        with pytest.raises(MechanismError):
+            table1_config("FOO")

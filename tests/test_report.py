@@ -1,0 +1,94 @@
+"""The four-pane full report."""
+
+import pytest
+
+from repro.analysis import full_report, merge_profiles
+from repro.machine import presets
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS, MRK
+
+from tests.conftest import ToyProgram
+
+
+@pytest.fixture
+def merged(toy_archive):
+    _, _, arc = toy_archive
+    return merge_profiles(arc)
+
+
+class TestFullReport:
+    def test_contains_all_panes(self, merged):
+        text = full_report(merged)
+        assert "lpi_NUMA" in text
+        assert "data-centric view" in text
+        assert "code-centric view" in text
+        assert "address-centric view" in text
+        assert "first-touch view" in text
+
+    def test_verdict_above_threshold(self, merged):
+        assert "ABOVE the 0.1 threshold" in full_report(merged)
+
+    def test_focus_defaults_to_hottest(self, merged):
+        assert "focus variable: a" in full_report(merged)
+
+    def test_focus_override(self, merged):
+        text = full_report(merged, focus_var="a")
+        assert "allocated at: main > alloc_a > operator new[]" in text
+
+    def test_scoped_pane_skipped_for_single_hot_context(self, merged):
+        """The toy's remote cost is 100% in one context: no scoped pane."""
+        assert "hottest context:" not in full_report(merged)
+
+    def test_scoped_context_pane_when_cost_splits(self, small_machine):
+        """Two remote-cost contexts -> the scoped view appears (the AMG
+        Fig. 4 -> 5 situation)."""
+        from repro.runtime.callstack import SourceLoc
+        from repro.runtime.chunks import sweep_chunk
+        from repro.runtime.program import Region, RegionKind
+
+        class TwoRegions(ToyProgram):
+            def regions(self, ctx):
+                a = ctx.var("a")
+
+                def init(ctx, tid):
+                    yield sweep_chunk(
+                        a, 0, self.n_elems, SourceLoc("init"), is_store=True
+                    )
+
+                def blocked(ctx, tid):
+                    lo, hi = ctx.partition(self.n_elems, tid)
+                    yield sweep_chunk(a, lo, hi - lo, SourceLoc("k1", "a.c", 1))
+
+                def shuffled(ctx, tid):
+                    owner = (tid * 5) % ctx.n_threads
+                    bounds = ctx.partition(self.n_elems, owner)
+                    yield sweep_chunk(
+                        a, bounds[0], bounds[1] - bounds[0],
+                        SourceLoc("k2", "a.c", 2),
+                    )
+
+                return [
+                    Region("init", RegionKind.SERIAL, init, SourceLoc("init")),
+                    Region("r1._omp", RegionKind.PARALLEL, blocked,
+                           SourceLoc("r1._omp"), repeat=3),
+                    Region("r2._omp", RegionKind.PARALLEL, shuffled,
+                           SourceLoc("r2._omp")),
+                ]
+
+        prof = NumaProfiler(IBS(period=256))
+        ExecutionEngine(small_machine, TwoRegions(), 8, monitor=prof).run()
+        text = full_report(merge_profiles(prof.archive))
+        assert "hottest context:" in text
+        assert "scoped view" in text
+
+    def test_mrk_verdict(self, small_machine, toy_program):
+        prof = NumaProfiler(MRK(max_rate=1e9))
+        ExecutionEngine(small_machine, toy_program, 8, monitor=prof).run()
+        text = full_report(merge_profiles(prof.archive))
+        assert "lpi_NUMA unavailable" in text
+        assert "remote fraction" in text
+
+    def test_unknown_focus_var_omits_panes(self, merged):
+        text = full_report(merged, focus_var="ghost")
+        assert "focus variable" not in text

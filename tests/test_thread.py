@@ -1,0 +1,57 @@
+"""Thread binding policies."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.machine.topology import NumaTopology
+from repro.runtime.thread import BindingPolicy, SimThread, bind_threads
+
+
+@pytest.fixture
+def topo():
+    return NumaTopology(n_domains=4, cores_per_domain=2)
+
+
+class TestCompact:
+    def test_fills_domains_in_order(self, topo):
+        threads = bind_threads(topo, 4, BindingPolicy.COMPACT)
+        assert [t.domain for t in threads] == [0, 0, 1, 1]
+
+    def test_cpu_equals_tid(self, topo):
+        threads = bind_threads(topo, 8, BindingPolicy.COMPACT)
+        assert all(t.cpu == t.tid for t in threads)
+
+
+class TestScatter:
+    def test_round_robin_over_domains(self, topo):
+        threads = bind_threads(topo, 4, BindingPolicy.SCATTER)
+        assert [t.domain for t in threads] == [0, 1, 2, 3]
+
+    def test_wraps_within_domains(self, topo):
+        threads = bind_threads(topo, 8, BindingPolicy.SCATTER)
+        assert [t.domain for t in threads] == [0, 1, 2, 3, 0, 1, 2, 3]
+        # No CPU is used twice.
+        assert len({t.cpu for t in threads}) == 8
+
+    def test_scatter_with_smt(self):
+        topo = NumaTopology(n_domains=2, cores_per_domain=2, smt=2)
+        threads = bind_threads(topo, 8, BindingPolicy.SCATTER)
+        assert len({t.cpu for t in threads}) == 8
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self, topo):
+        with pytest.raises(BindingError):
+            bind_threads(topo, 0)
+
+    def test_oversubscription_rejected(self, topo):
+        with pytest.raises(BindingError):
+            bind_threads(topo, 9)
+
+    def test_simthread_validation(self):
+        with pytest.raises(BindingError):
+            SimThread(tid=-1, cpu=0, domain=0)
+
+    def test_domain_consistent_with_topology(self, topo):
+        for t in bind_threads(topo, 8):
+            assert t.domain == topo.domain_of_cpu(t.cpu)

@@ -1,0 +1,61 @@
+"""The domain traffic matrix and its view."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import traffic_matrix_view
+from repro.machine import presets
+from repro.optim.policies import NumaTuning
+from repro.runtime import ExecutionEngine
+from repro.workloads import PartitionedSweep
+
+
+def run(tuning=None):
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    return ExecutionEngine(
+        machine, PartitionedSweep(tuning, n_elems=400_000, steps=3), 8
+    ).run()
+
+
+class TestTrafficMatrix:
+    def test_shape_and_conservation(self):
+        res = run()
+        assert res.domain_traffic.shape == (4, 4)
+        assert res.domain_traffic.sum() == res.dram_accesses
+        # Column sums equal per-domain request counts.
+        np.testing.assert_array_equal(
+            res.domain_traffic.sum(axis=0), res.domain_dram_requests
+        )
+
+    def test_centralized_fills_one_column(self):
+        res = run()
+        matrix = res.domain_traffic
+        assert matrix[:, 0].sum() == matrix.sum()
+        # Every accessor domain contributes (all threads run chunks).
+        assert np.count_nonzero(matrix[:, 0]) == 4
+
+    def test_colocated_is_diagonal(self):
+        res = run(NumaTuning(parallel_init={"data"}))
+        matrix = res.domain_traffic
+        assert np.trace(matrix) == pytest.approx(matrix.sum(), rel=0.02)
+
+    def test_off_diagonal_equals_remote(self):
+        res = run()
+        matrix = res.domain_traffic
+        off_diag = matrix.sum() - np.trace(matrix)
+        assert off_diag == res.remote_dram_accesses
+
+
+class TestTrafficView:
+    def test_render_centralized(self):
+        res = run()
+        text = traffic_matrix_view(res)
+        assert "rows: accessor" in text
+        assert "cross-domain" in text
+        # Four accessor rows.
+        assert sum(1 for l in text.splitlines() if l.strip().startswith("d")) >= 4
+
+    def test_local_share_reported(self):
+        res = run(NumaTuning(parallel_init={"data"}))
+        text = traffic_matrix_view(res)
+        assert "local (diagonal) share: 10" in text or "local (diagonal) share: 9" in text

@@ -1,0 +1,70 @@
+"""Advice -> tuning transforms."""
+
+import pytest
+
+from repro.analysis.advisor import Action, Advice, Recommendation
+from repro.analysis.patterns import AccessPattern, PatternReport
+from repro.machine.pagetable import PlacementPolicy
+from repro.optim import apply_advice
+
+
+def rec(name, action, domains=None):
+    report = PatternReport(AccessPattern.BLOCKED, 0.1, 1.0, 0.0, 8)
+    return Recommendation(
+        var_name=name,
+        action=action,
+        pattern=report,
+        scoped_to=None,
+        first_touch_paths={},
+        blockwise_domains=domains or [],
+        remote_cost_share=0.5,
+    )
+
+
+def advice(recs, worth=True):
+    return Advice(
+        program="p", lpi=0.5 if worth else 0.01, worth_optimizing=worth,
+        recommendations=recs, rationale="",
+    )
+
+
+class TestApplyAdvice:
+    def test_blockwise_uses_advisor_domains(self):
+        tuning = apply_advice(
+            advice([rec("v", Action.BLOCKWISE, [3, 2, 1, 0])]), 4
+        )
+        spec = tuning.spec_for("v")
+        assert spec.policy is PlacementPolicy.BLOCKWISE
+        assert spec.domains == (3, 2, 1, 0)
+        # The paper's fix changes the first-touch code: init parallelized.
+        assert tuning.inits_in_parallel("v")
+
+    def test_blockwise_defaults_to_all_domains(self):
+        tuning = apply_advice(advice([rec("v", Action.BLOCKWISE)]), 4)
+        assert tuning.spec_for("v").domains == (0, 1, 2, 3)
+
+    def test_interleave(self):
+        tuning = apply_advice(advice([rec("v", Action.INTERLEAVE)]), 8)
+        assert tuning.spec_for("v").policy is PlacementPolicy.INTERLEAVE
+
+    def test_parallel_init(self):
+        tuning = apply_advice(advice([rec("v", Action.PARALLEL_INIT)]), 4)
+        assert tuning.inits_in_parallel("v")
+        assert tuning.spec_for("v") is None
+
+    def test_restructure_regroups_and_parallelizes(self):
+        tuning = apply_advice(advice([rec("v", Action.RESTRUCTURE)]), 4)
+        assert tuning.is_regrouped("v")
+        assert tuning.inits_in_parallel("v")
+
+    def test_none_action_untouched(self):
+        tuning = apply_advice(advice([rec("v", Action.NONE)]), 4)
+        assert tuning.spec_for("v") is None
+        assert not tuning.inits_in_parallel("v")
+
+    def test_not_worth_optimizing_is_baseline(self):
+        tuning = apply_advice(
+            advice([rec("v", Action.BLOCKWISE)], worth=False), 4
+        )
+        assert tuning.placement == {}
+        assert tuning.parallel_init == set()

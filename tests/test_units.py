@@ -1,0 +1,147 @@
+"""Unit helpers: page/line math and conversions."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestPageMath:
+    def test_page_of_scalar(self):
+        assert units.page_of(0) == 0
+        assert units.page_of(4095) == 0
+        assert units.page_of(4096) == 1
+
+    def test_page_of_array(self):
+        addrs = np.array([0, 4095, 4096, 8192])
+        np.testing.assert_array_equal(units.page_of(addrs), [0, 0, 1, 2])
+
+    def test_page_base(self):
+        assert units.page_base(4097) == 4096
+        assert units.page_base(4096) == 4096
+
+    def test_pages_spanned_exact(self):
+        assert units.pages_spanned(0, 4096) == 1
+        assert units.pages_spanned(0, 4097) == 2
+
+    def test_pages_spanned_unaligned_base(self):
+        # 100 bytes starting near a page end span two pages.
+        assert units.pages_spanned(4090, 100) == 2
+
+    def test_pages_spanned_zero_length(self):
+        assert units.pages_spanned(1234, 0) == 0
+
+    def test_custom_page_size(self):
+        assert units.pages_spanned(0, 65536, page_size=65536) == 1
+
+
+class TestLineMath:
+    def test_line_of(self):
+        assert units.line_of(63) == 0
+        assert units.line_of(64) == 1
+
+    def test_line_of_array(self):
+        np.testing.assert_array_equal(
+            units.line_of(np.array([0, 64, 127])), [0, 1, 1]
+        )
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert units.align_up(4096, 4096) == 4096
+
+    def test_rounds_up(self):
+        assert units.align_up(1, 4096) == 4096
+        assert units.align_up(4097, 4096) == 8192
+
+    def test_zero(self):
+        assert units.align_up(0, 64) == 0
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            units.align_up(10, 0)
+
+
+class TestCycleConversion:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(2e9, 2.0) == pytest.approx(1.0)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1, 0)
+
+
+class TestFastUnique:
+    def test_sorted_input(self):
+        from repro.units import fast_unique
+
+        a = np.array([1, 1, 2, 3, 3, 3, 7])
+        np.testing.assert_array_equal(fast_unique(a), [1, 2, 3, 7])
+
+    def test_unsorted_input(self):
+        from repro.units import fast_unique
+
+        a = np.array([5, 1, 5, 2])
+        np.testing.assert_array_equal(fast_unique(a), [1, 2, 5])
+
+    def test_empty_and_single(self):
+        from repro.units import fast_unique
+
+        assert fast_unique(np.array([], dtype=np.int64)).size == 0
+        np.testing.assert_array_equal(fast_unique(np.array([9])), [9])
+
+
+class TestFirstOccurrenceMask:
+    def test_sorted(self):
+        from repro.units import first_occurrence_mask
+
+        a = np.array([1, 1, 2, 2, 2, 3])
+        np.testing.assert_array_equal(
+            first_occurrence_mask(a), [1, 0, 1, 0, 0, 1]
+        )
+
+    def test_unsorted_marks_first_in_order(self):
+        from repro.units import first_occurrence_mask
+
+        a = np.array([3, 1, 3, 1, 2])
+        np.testing.assert_array_equal(
+            first_occurrence_mask(a), [1, 1, 0, 0, 1]
+        )
+
+    def test_empty(self):
+        from repro.units import first_occurrence_mask
+
+        assert first_occurrence_mask(np.array([])).size == 0
+
+
+def test_fast_unique_matches_numpy_property():
+    from hypothesis import given, settings, strategies as st
+
+    from repro.units import fast_unique
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def check(values):
+        a = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(fast_unique(a), np.unique(a))
+
+    check()
+
+
+def test_first_occurrence_mask_property():
+    from hypothesis import given, settings, strategies as st
+
+    from repro.units import first_occurrence_mask
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def check(values):
+        a = np.array(values, dtype=np.int64)
+        mask = first_occurrence_mask(a)
+        # Masked values are exactly the distinct values.
+        np.testing.assert_array_equal(np.sort(a[mask]), np.unique(a))
+        # And each is the FIRST occurrence of its value.
+        for i in np.nonzero(mask)[0]:
+            assert a[i] not in a[:i]
+
+    check()

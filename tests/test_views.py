@@ -1,0 +1,142 @@
+"""Presentation views: rendering and raw series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NumaAnalysis,
+    address_centric_series,
+    address_centric_view,
+    code_centric_view,
+    data_centric_view,
+    first_touch_view,
+    merge_profiles,
+)
+
+
+@pytest.fixture
+def merged(toy_archive):
+    _, _, arc = toy_archive
+    return merge_profiles(arc)
+
+
+class TestCodeCentricView:
+    def test_contains_hot_function(self, merged):
+        text = code_centric_view(merged)
+        assert "compute_loop" in text
+        assert "NUMA_MISMATCH" in text
+
+    def test_shares_annotated(self, merged):
+        text = code_centric_view(merged)
+        assert "%" in text
+
+    def test_custom_metric(self, merged):
+        text = code_centric_view(merged, metric="SAMPLES")
+        assert "SAMPLES" in text
+
+
+class TestDataCentricView:
+    def test_variable_table(self, merged):
+        text = data_centric_view(merged)
+        assert "a" in text
+        assert "M_l" in text and "M_r" in text
+        assert "heap" in text
+
+    def test_lpi_column(self, merged):
+        assert "lpi" in data_centric_view(merged)
+
+
+class TestAddressCentricSeries:
+    def test_series_structure(self, merged):
+        series = address_centric_series(merged, "a")
+        assert series.tids.tolist() == list(range(8))
+        assert np.all(series.lo <= series.hi)
+        assert np.all(series.lo >= 0) and np.all(series.hi <= 1 + 1e-9)
+
+    def test_blocked_shape(self, merged):
+        """Workers' midpoints ascend with tid (the Fig. 3 picture)."""
+        series = address_centric_series(merged, "a")
+        mids = ((series.lo + series.hi) / 2)[1:]  # exclude init thread
+        assert np.all(np.diff(mids) > 0)
+
+    def test_as_dict(self, merged):
+        d = address_centric_series(merged, "a").as_dict()
+        assert set(d) == set(range(8))
+
+    def test_context_scoping(self, merged):
+        mv = merged.var("a")
+        ctx = next(
+            p for p in mv.contexts() if any("compute" in f.func for f in p)
+        )
+        scoped = address_centric_series(merged, "a", ctx)
+        full = address_centric_series(merged, "a")
+        t0 = list(scoped.tids).index(0)
+        assert (scoped.hi[t0] - scoped.lo[t0]) < (full.hi[0] - full.lo[0])
+
+
+class TestAddressCentricView:
+    def test_one_bar_per_thread(self, merged):
+        text = address_centric_view(merged, "a", width=40)
+        bar_lines = [l for l in text.splitlines() if "#" in l]
+        assert len(bar_lines) == 8
+
+    def test_bars_reflect_ranges(self, merged):
+        text = address_centric_view(merged, "a", width=40)
+        lines = text.splitlines()
+        t0 = next(l for l in lines if l.strip().startswith("0 "))
+        t7 = next(l for l in lines if l.strip().startswith("7 "))
+        # Thread 0 (init) has the widest bar; thread 7's starts far right.
+        assert t0.count("#") > t7.count("#")
+        assert t7.index("#") > t0.index("#")
+
+
+class TestFirstTouchView:
+    def test_shows_toucher_and_context(self, merged):
+        text = first_touch_view(merged, "a")
+        assert "threads: [0]" in text
+        assert "init" in text
+        assert "pages" in text
+
+    def test_no_records(self, merged):
+        # Fabricate a merged var without first touches.
+        merged.var("a").first_touches.clear()
+        text = first_touch_view(merged, "a")
+        assert "no first-touch records" in text
+
+
+class TestRegionTableView:
+    def test_lists_parallel_regions(self, merged):
+        from repro.analysis import region_table_view
+
+        text = region_table_view(merged)
+        assert "compute._omp" in text
+        assert "lpi" in text
+        # The serial init region (not ._omp) is excluded.
+        assert "init" not in text.splitlines()[2:][0]
+
+    def test_remote_fraction_column(self, merged):
+        from repro.analysis import region_table_view
+
+        text = region_table_view(merged)
+        row = next(l for l in text.splitlines() if "compute._omp" in l)
+        assert "%" in row
+
+
+class TestSeriesCsvExport:
+    def test_to_csv_roundtrip(self, merged, tmp_path):
+        import csv
+
+        from repro.analysis import address_centric_series
+
+        series = address_centric_series(merged, "a")
+        path = tmp_path / "sub" / "series.csv"
+        series.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][:2] == ["# variable", "a"]
+        assert rows[1] == ["tid", "lo_normalized", "hi_normalized"]
+        data = rows[2:]
+        assert len(data) == len(series.tids)
+        assert [int(r[0]) for r in data] == series.tids.tolist()
+        for r in data:
+            assert 0.0 <= float(r[1]) <= float(r[2]) <= 1.0 + 1e-9

@@ -1,0 +1,94 @@
+"""AMG2006 workload: indirection, per-region patterns, solver phase."""
+
+import pytest
+
+from repro.analysis import NumaAnalysis, classify_ranges, merge_profiles
+from repro.analysis.patterns import AccessPattern
+from repro.machine import presets
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS
+from repro.workloads import AMG2006
+
+SMALL = dict(n_rows=100_000, solve_iters=3)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    machine = presets.magny_cours()
+    prof = NumaProfiler(IBS(period=2048))
+    engine = ExecutionEngine(machine, AMG2006(**SMALL), 48, monitor=prof)
+    result = engine.run()
+    return engine, result, merge_profiles(prof.archive)
+
+
+class TestStructure:
+    def test_variables(self, profiled):
+        _, _, merged = profiled
+        assert {"RAP_diag_data", "RAP_diag_j", "u", "f"} <= set(merged.vars)
+
+    def test_rap_arrays_are_nnz_sized(self):
+        prog = AMG2006(**SMALL)
+        assert prog.nnz == prog.NNZ_PER_ROW * prog.n_rows
+
+    def test_alloc_path_through_setup(self, profiled):
+        _, _, merged = profiled
+        funcs = [f.func for f in merged.var("RAP_diag_data").alloc_path]
+        assert "hypre_BoomerAMGSetup" in funcs
+
+
+class TestPatternSplit:
+    """The Fig. 4 vs Fig. 5 distinction: irregular whole-program pattern,
+    blocked within the hot smoother region."""
+
+    def test_whole_program_not_blocked(self, profiled):
+        _, _, merged = profiled
+        rep = classify_ranges(merged.var("RAP_diag_data").normalized_ranges())
+        assert rep.pattern is not AccessPattern.BLOCKED
+
+    def test_relax_region_blocked(self, profiled):
+        _, _, merged = profiled
+        mv = merged.var("RAP_diag_data")
+        relax_ctx = next(
+            p for p in mv.contexts()
+            if any("Relax" in f.func for f in p)
+        )
+        rep = classify_ranges(mv.normalized_ranges(relax_ctx))
+        assert rep.pattern is AccessPattern.BLOCKED
+
+    def test_relax_dominates_variable_cost(self, profiled):
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        share = an.context_share("RAP_diag_data", "hypre_boomerAMGRelax._omp")
+        assert share > 0.6  # paper: 74.2%
+
+    def test_f_uniform_pattern(self):
+        """Dense Soft-IBS capture: every thread's gathers span the vector."""
+        from repro.sampling import SoftIBS
+
+        machine = presets.magny_cours()
+        prof = NumaProfiler(SoftIBS(period=4))
+        engine = ExecutionEngine(
+            machine, AMG2006(n_rows=100_000, solve_iters=2), 48, monitor=prof
+        )
+        engine.run()
+        merged = merge_profiles(prof.archive)
+        rep = classify_ranges(merged.var("f").normalized_ranges())
+        assert rep.mean_coverage > 0.9
+
+
+class TestSolverPhase:
+    def test_solver_seconds_sums_solve_regions(self, profiled):
+        _, result, _ = profiled
+        solver = AMG2006.solver_seconds(result)
+        assert 0 < solver < result.wall_seconds
+        expected = sum(
+            result.region_seconds(k)
+            for k in result.region_wall_cycles
+            if k.startswith("solve:")
+        )
+        assert solver == pytest.approx(expected)
+
+    def test_lpi_exceeds_threshold(self, profiled):
+        _, _, merged = profiled
+        assert NumaAnalysis(merged).program_lpi() > 0.1

@@ -1,0 +1,106 @@
+"""LULESH workload: structure, patterns, and optimization response.
+
+Uses reduced problem sizes; the full-scale shape checks live in the
+benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import NumaAnalysis, classify_ranges, merge_profiles
+from repro.analysis.patterns import AccessPattern
+from repro.machine import presets
+from repro.optim.policies import NumaTuning, PlacementSpec
+from repro.machine.pagetable import PlacementPolicy
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.runtime.heap import VariableKind
+from repro.sampling import IBS
+from repro.workloads import Lulesh
+from repro.workloads.lulesh import NODAL_ARRAYS
+
+SMALL = dict(n_nodes=120_000, steps=3)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    machine = presets.magny_cours()
+    prof = NumaProfiler(IBS(period=2048))
+    engine = ExecutionEngine(machine, Lulesh(**SMALL), 48, monitor=prof)
+    result = engine.run()
+    return engine, result, merge_profiles(prof.archive)
+
+
+class TestStructure:
+    def test_seven_monitored_variables(self, profiled):
+        _, _, merged = profiled
+        assert set(merged.vars) == set(NODAL_ARRAYS) | {"nodelist"}
+
+    def test_nodelist_is_stack(self, profiled):
+        _, _, merged = profiled
+        assert merged.var("nodelist").kind is VariableKind.STACK
+        assert merged.var("z").kind is VariableKind.HEAP
+
+    def test_alloc_paths_match_paper(self, profiled):
+        _, _, merged = profiled
+        funcs = [f.func for f in merged.var("z").alloc_path]
+        assert "Domain::AllocateNodalPersistent" in funcs
+        assert funcs[-1] == "operator new[]"
+        assert merged.var("z").alloc_path[-1].line == 2159
+
+    def test_first_touch_serial_init(self, profiled):
+        _, _, merged = profiled
+        paths = merged.var("z").first_touch_paths()
+        assert any(
+            any("init_z" == f.func for f in p) for p in paths
+        )
+
+
+class TestNumaCharacter:
+    def test_all_samples_target_domain0(self, profiled):
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        balance = an.domain_balance()
+        assert balance[0] == balance.sum()
+
+    def test_mismatch_ratio_near_seven(self, profiled):
+        """Paper: M_r roughly seven times M_l for z."""
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        ratio = an.variable_summary("z").mismatch_ratio
+        assert 4.0 < ratio < 10.0
+
+    def test_blocked_pattern_for_z(self, profiled):
+        _, _, merged = profiled
+        rep = classify_ranges(merged.var("z").normalized_ranges())
+        assert rep.pattern is AccessPattern.BLOCKED
+
+    def test_program_warrants_optimization(self, profiled):
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        assert an.program_lpi() > 0.1
+
+
+class TestOptimization:
+    def test_blockwise_tuning_speeds_up(self):
+        base = ExecutionEngine(
+            presets.magny_cours(), Lulesh(**SMALL), 48
+        ).run()
+        spec = PlacementSpec(PlacementPolicy.BLOCKWISE, tuple(range(8)))
+        tuning = NumaTuning(
+            placement={v: spec for v in NODAL_ARRAYS + ("nodelist",)},
+            parallel_init=set(NODAL_ARRAYS) | {"nodelist"},
+        )
+        opt = ExecutionEngine(
+            presets.magny_cours(), Lulesh(tuning, **SMALL), 48
+        ).run()
+        assert opt.wall_seconds < base.wall_seconds
+        assert opt.remote_dram_fraction < 0.2
+
+    def test_partial_init_vars_colocate_velocities(self):
+        machine = presets.power7()
+        prog = Lulesh(partial_init_vars=("xd", "yd", "zd"), **SMALL)
+        ExecutionEngine(machine, prog, 128).run()
+        segs = {s.label: s for s in machine.page_table.segments}
+        assert len(set(segs["xd"].domains.tolist())) == 4  # co-located
+        assert set(segs["x"].domains.tolist()) == {0}      # centralized

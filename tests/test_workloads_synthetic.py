@@ -1,0 +1,118 @@
+"""Synthetic workloads and the shared workload base machinery."""
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.machine.pagetable import PlacementPolicy, UNBOUND
+from repro.optim.policies import NumaTuning, PlacementSpec
+from repro.runtime import ExecutionEngine
+from repro.workloads import CentralHotspot, PartitionedSweep
+from repro.workloads.base import WorkloadBase
+
+
+def run(program, n_threads=8, machine=None):
+    machine = machine or presets.generic(n_domains=4, cores_per_domain=2)
+    engine = ExecutionEngine(machine, program, n_threads)
+    return machine, engine.run()
+
+
+class TestPartitionedSweep:
+    def test_baseline_centralizes(self):
+        machine, res = run(PartitionedSweep(n_elems=100_000, steps=2))
+        counts = machine.page_table.domain_page_counts()
+        assert counts[0] == counts.sum()
+
+    def test_blockwise_tuning_distributes(self):
+        tuning = NumaTuning(placement={
+            "data": PlacementSpec(PlacementPolicy.BLOCKWISE, (0, 1, 2, 3))
+        })
+        machine, res = run(PartitionedSweep(tuning, n_elems=100_000, steps=2))
+        counts = machine.page_table.domain_page_counts()
+        assert np.all(counts > 0)
+
+    def test_parallel_init_colocates(self):
+        tuning = NumaTuning(parallel_init={"data"})
+        machine, res = run(
+            PartitionedSweep(tuning, n_elems=400_000, steps=3)
+        )
+        assert res.remote_dram_fraction < 0.05
+
+    def test_blockwise_faster_than_baseline(self):
+        base_m, base = run(PartitionedSweep(n_elems=400_000, steps=4))
+        tuning = NumaTuning(parallel_init={"data"})
+        opt_m, opt = run(PartitionedSweep(tuning, n_elems=400_000, steps=4))
+        assert opt.wall_seconds < base.wall_seconds
+
+
+class TestCentralHotspot:
+    def test_every_thread_reads_everything(self):
+        machine, res = run(CentralHotspot(n_elems=100_000, steps=2))
+        # Total accesses = threads x elems x steps (+ init).
+        assert res.total_accesses >= 8 * 100_000 * 2
+
+    def test_interleave_balances_requests(self):
+        tuning = NumaTuning(placement={
+            "table": PlacementSpec(PlacementPolicy.INTERLEAVE, (0, 1, 2, 3))
+        })
+        machine, res = run(CentralHotspot(tuning, n_elems=200_000, steps=2))
+        req = res.domain_dram_requests
+        assert req.max() / max(req.min(), 1) < 1.5
+
+
+class TestInitMachinery:
+    def test_init_touches_every_page(self):
+        machine, _ = run(PartitionedSweep(n_elems=100_000, steps=1))
+        seg = machine.page_table.segments[0]
+        assert np.all(seg.domains != UNBOUND)
+
+    def test_parallel_init_region_named(self):
+        tuning = NumaTuning(parallel_init={"data"})
+        prog = PartitionedSweep(tuning, n_elems=50_000, steps=1)
+        machine = presets.generic(n_domains=4, cores_per_domain=2)
+        engine = ExecutionEngine(machine, prog, 4)
+        res = engine.run()
+        assert any(k.endswith("._omp") and "init" in k
+                   for k in res.region_wall_cycles)
+
+    def test_mixed_serial_and_parallel_init(self):
+        """Partial parallel init: some variables serial, some parallel."""
+
+        class TwoVars(WorkloadBase):
+            name = "two"
+            source_file = "two.c"
+
+            def setup(self, ctx):
+                from repro.runtime.callstack import SourceLoc
+
+                self._alloc(ctx, "s", 8 * 50_000, (SourceLoc("main"),))
+                self._alloc(ctx, "p", 8 * 50_000, (SourceLoc("main"),))
+
+            def regions(self, ctx):
+                return self.make_init_regions(ctx, ["s", "p"])
+
+        tuning = NumaTuning(parallel_init={"p"})
+        machine = presets.generic(n_domains=4, cores_per_domain=2)
+        ExecutionEngine(machine, TwoVars(tuning), 8).run()
+        segs = {s.label: s for s in machine.page_table.segments}
+        assert set(segs["s"].domains.tolist()) == {0}
+        assert len(set(segs["p"].domains.tolist())) == 4
+
+
+class TestJitteredIndices:
+    def test_stay_in_bounds(self):
+        rng = np.random.default_rng(0)
+        idx = WorkloadBase.jittered_block_indices(rng, 0, 100, 100, jitter=50)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_blocked_locality_preserved(self):
+        rng = np.random.default_rng(0)
+        idx = WorkloadBase.jittered_block_indices(
+            rng, 1000, 2000, 10_000, jitter=16
+        )
+        assert idx.min() >= 984 and idx.max() < 2016
+
+    def test_no_jitter_is_identity(self):
+        rng = np.random.default_rng(0)
+        idx = WorkloadBase.jittered_block_indices(rng, 5, 10, 100, jitter=0)
+        np.testing.assert_array_equal(idx, np.arange(5, 10))

@@ -1,0 +1,110 @@
+"""UMT2013 workload: round-robin planes, MRK analysis, parallel-init fix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import NumaAnalysis, classify_ranges, merge_profiles
+from repro.analysis.patterns import AccessPattern
+from repro.machine import presets
+from repro.optim.policies import NumaTuning
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.runtime.heap import VariableKind
+from repro.runtime.thread import BindingPolicy
+from repro.sampling import MRK
+from repro.workloads import UMT2013
+
+SMALL = dict(plane_elems=4096, n_angles=64, sweeps=3)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    machine = presets.power7()
+    prof = NumaProfiler(MRK(max_rate=2e6))
+    engine = ExecutionEngine(
+        machine, UMT2013(**SMALL), 32, monitor=prof,
+        binding=BindingPolicy.SCATTER,
+    )
+    result = engine.run()
+    return engine, result, merge_profiles(prof.archive)
+
+
+class TestStructure:
+    def test_variables_present(self, profiled):
+        _, _, merged = profiled
+        assert {"STime", "STotal", "psi", "geom_workspace"} <= set(merged.vars)
+
+    def test_workspace_is_static(self, profiled):
+        _, _, merged = profiled
+        assert merged.var("geom_workspace").kind is VariableKind.STATIC
+        assert merged.var("STime").kind is VariableKind.HEAP
+
+    def test_plane_ownership_round_robin(self):
+        prog = UMT2013(**SMALL)
+        machine = presets.power7()
+        from repro.runtime.heap import HeapAllocator
+        from repro.runtime.program import ProgramContext
+        from repro.runtime.thread import bind_threads
+
+        ctx = ProgramContext(
+            machine, HeapAllocator(machine),
+            bind_threads(machine.topology, 32, BindingPolicy.SCATTER),
+        )
+        planes = prog._planes_of(ctx, 5)
+        np.testing.assert_array_equal(planes % 32, 5)
+
+
+class TestMrkAnalysis:
+    def test_remote_fraction_high(self, profiled):
+        """Paper: 86% of L3 misses access remote memory."""
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        assert an.program_remote_fraction() > 0.6
+
+    def test_heap_share_partial(self, profiled):
+        """Paper: only 47% of remote accesses from heap variables."""
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        share = an.kind_share(VariableKind.HEAP)
+        assert 0.3 < share < 0.8
+
+    def test_no_latency_metrics_with_mrk(self, profiled):
+        _, _, merged = profiled
+        an = NumaAnalysis(merged)
+        assert an.program_lpi() is None
+        assert an.total_latency() == 0.0
+
+
+class TestStaggeredPattern:
+    def test_stime_staggered(self, profiled):
+        _, _, merged = profiled
+        rep = classify_ranges(merged.var("STime").normalized_ranges())
+        assert rep.pattern is AccessPattern.STAGGERED_OVERLAP
+        assert rep.midpoint_monotonicity > 0.8
+
+
+class TestParallelInitFix:
+    def test_colocation_speedup(self):
+        base = ExecutionEngine(
+            presets.power7(), UMT2013(**SMALL), 32,
+            binding=BindingPolicy.SCATTER,
+        ).run()
+        tuning = NumaTuning(parallel_init={"STime"})
+        opt = ExecutionEngine(
+            presets.power7(), UMT2013(tuning, **SMALL), 32,
+            binding=BindingPolicy.SCATTER,
+        ).run()
+        assert opt.wall_seconds < base.wall_seconds
+
+    def test_stime_planes_bound_to_owner_domains(self):
+        machine = presets.power7()
+        tuning = NumaTuning(parallel_init={"STime"})
+        prog = UMT2013(tuning, **SMALL)
+        ExecutionEngine(
+            machine, prog, 32, binding=BindingPolicy.SCATTER
+        ).run()
+        seg = next(
+            s for s in machine.page_table.segments if s.label == "STime"
+        )
+        # Pages spread across all four domains (co-located with owners).
+        assert len(set(seg.domains.tolist())) == 4
