@@ -12,6 +12,7 @@ Examples::
     python -m repro umt --machine power7 --mechanism MRK --threads 32 \\
         --binding scatter
     python -m repro sweep --threads 16 --machine generic
+    python -m repro bench-perf --scale 0.25   # hot-path perf regression check
 """
 
 from __future__ import annotations
@@ -92,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench-perf":
+        from repro.bench.perf import main as bench_perf_main
+
+        return bench_perf_main(argv[1:])
     args = build_parser().parse_args(argv)
     program_cls, default_preset, default_threads, default_mech = WORKLOADS[
         args.workload

@@ -24,7 +24,6 @@ from repro.profiler.cct import CCT
 from repro.profiler.profile_data import (
     FirstTouchRecord,
     ProfileArchive,
-    ThreadProfile,
     VarRecord,
 )
 from repro.runtime.callstack import CallPath

@@ -19,7 +19,7 @@ from repro.analysis.views import (
     first_touch_view,
     region_table_view,
 )
-from repro.profiler.metrics import LPI_THRESHOLD, MetricNames
+from repro.profiler.metrics import LPI_THRESHOLD
 
 
 def _verdict(analysis: NumaAnalysis) -> str:

@@ -18,9 +18,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.analyzer import NumaAnalysis
-from repro.analysis.merge import MergedProfile, MergedVar
+from repro.analysis.merge import MergedProfile
 from repro.profiler.cct import CCTNode
-from repro.profiler.metrics import MetricNames, lpi_numa
+from repro.profiler.metrics import MetricNames
 from repro.runtime.callstack import CallPath
 
 

@@ -47,9 +47,15 @@ def run_workload(
     *,
     binding: BindingPolicy = BindingPolicy.COMPACT,
     seed: int = 0,
+    params: dict | None = None,
     profiler_kwargs: dict | None = None,
 ) -> RunBundle:
-    """Build a fresh machine, run ``program`` on it, return the bundle."""
+    """Build a fresh machine, run ``program`` on it, return the bundle.
+
+    ``params`` is forwarded to the engine's :class:`ProgramContext`, so
+    benchmarks can pass free-form program parameters through the shared
+    harness exactly as direct engine users can.
+    """
     machine: Machine = machine_factory()
     profiler = (
         NumaProfiler(mechanism, **(profiler_kwargs or {}))
@@ -58,7 +64,7 @@ def run_workload(
     )
     engine = ExecutionEngine(
         machine, program, n_threads, monitor=profiler, binding=binding,
-        seed=seed,
+        params=params, seed=seed,
     )
     result = engine.run()
     return RunBundle(engine=engine, result=result, profiler=profiler)

@@ -1,0 +1,298 @@
+"""Performance-regression harness for the simulation hot path.
+
+``python -m repro bench-perf`` times *real* (host) wall-clock runs of the
+four paper workloads on the Magny-Cours preset, once engine-only and once
+with the full profiler attached, and writes ``BENCH_perf.json`` with
+
+* wall seconds per run,
+* chunks/s and accesses/s throughput (the engine hot-path rates),
+* the monitored-overhead percentage (host time, not simulated time).
+
+When a baseline JSON (same schema) is available — by default
+``results/BENCH_perf_baseline.json``, else the previous output file —
+the run is compared against it: any engine-only or monitored chunks/s
+throughput that drops by more than ``--threshold`` (default 20%) is
+reported as a regression and the process exits non-zero, so CI can keep
+the "low runtime overhead" claim honest as the engine evolves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import fmt_table
+from repro.machine import presets
+from repro.profiler import NumaProfiler
+from repro.runtime import ExecutionEngine
+from repro.sampling import create_mechanism
+
+SCHEMA = "bench-perf/v1"
+
+#: Default output path (repo root by convention).
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+#: Default baseline recorded before hot-path changes land.
+DEFAULT_BASELINE = "results/BENCH_perf_baseline.json"
+
+#: Relative chunks/s drop tolerated before the run counts as a regression.
+DEFAULT_THRESHOLD = 0.2
+
+
+def default_workloads(scale: float = 1.0) -> dict:
+    """The four paper workloads at Table-2 sizes, scaled by ``scale``."""
+    from repro.workloads import AMG2006, Blackscholes, Lulesh, UMT2013
+
+    def n(value: int, floor: int) -> int:
+        return max(int(value * scale), floor)
+
+    return {
+        "lulesh": lambda: Lulesh(n_nodes=n(600_000, 8_000), steps=6),
+        "amg": lambda: AMG2006(n_rows=n(200_000, 4_000), solve_iters=12),
+        "blackscholes": lambda: Blackscholes(
+            n_options=n(20_000, 500), steps=50
+        ),
+        "umt": lambda: UMT2013(
+            plane_elems=n(8_192, 512), n_angles=n(96, 8), sweeps=5
+        ),
+    }
+
+
+def _rates(wall_s: float, result) -> dict:
+    return {
+        "wall_s": wall_s,
+        "chunks": result.total_chunks,
+        "accesses": result.total_accesses,
+        "chunks_per_s": result.total_chunks / wall_s if wall_s > 0 else 0.0,
+        "accesses_per_s": (
+            result.total_accesses / wall_s if wall_s > 0 else 0.0
+        ),
+    }
+
+
+def _timed_run(machine_factory, program_factory, threads, monitor=None):
+    engine = ExecutionEngine(
+        machine_factory(), program_factory(), threads, monitor=monitor
+    )
+    t0 = time.perf_counter()
+    result = engine.run()
+    return time.perf_counter() - t0, result
+
+
+def run_perf(
+    *,
+    preset: str = "magny_cours",
+    threads: int = 48,
+    mechanism: str = "IBS",
+    period: int = 4096,
+    scale: float = 1.0,
+    workloads: dict | None = None,
+) -> dict:
+    """Measure all workloads; return the ``bench-perf/v1`` document."""
+    machine_factory = presets.PRESETS[preset]
+    workloads = workloads or default_workloads(scale)
+
+    doc: dict = {
+        "schema": SCHEMA,
+        "preset": preset,
+        "threads": threads,
+        "mechanism": mechanism,
+        "period": period,
+        "scale": scale,
+        "workloads": {},
+    }
+    tot = {
+        "engine_only": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
+        "monitored": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
+    }
+    for name, factory in workloads.items():
+        base_s, base_res = _timed_run(machine_factory, factory, threads)
+        mon_s, mon_res = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        )
+        entry = {
+            "engine_only": _rates(base_s, base_res),
+            "monitored": _rates(mon_s, mon_res),
+        }
+        entry["monitored"]["overhead_pct"] = (
+            (mon_s / base_s - 1.0) * 100.0 if base_s > 0 else 0.0
+        )
+        doc["workloads"][name] = entry
+        for mode, (wall, res) in (
+            ("engine_only", (base_s, base_res)),
+            ("monitored", (mon_s, mon_res)),
+        ):
+            tot[mode]["wall_s"] += wall
+            tot[mode]["chunks"] += res.total_chunks
+            tot[mode]["accesses"] += res.total_accesses
+
+    for mode in ("engine_only", "monitored"):
+        wall = tot[mode]["wall_s"]
+        tot[mode]["chunks_per_s"] = tot[mode]["chunks"] / wall if wall else 0.0
+        tot[mode]["accesses_per_s"] = (
+            tot[mode]["accesses"] / wall if wall else 0.0
+        )
+    tot["monitored_overhead_pct"] = (
+        (tot["monitored"]["wall_s"] / tot["engine_only"]["wall_s"] - 1.0)
+        * 100.0
+        if tot["engine_only"]["wall_s"]
+        else 0.0
+    )
+    doc["totals"] = tot
+    return doc
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> dict:
+    """Compare two ``bench-perf/v1`` documents by chunks/s throughput.
+
+    Returns ``{"speedups": ..., "regressions": [...], "ok": bool}`` where
+    a regression is any per-workload or total chunks/s that fell below
+    ``(1 - threshold)`` times the baseline value.
+    """
+    regressions: list[str] = []
+    speedups: dict = {"workloads": {}, "totals": {}}
+
+    def ratio(new: float, old: float) -> float | None:
+        return new / old if old else None
+
+    for mode in ("engine_only", "monitored"):
+        r = ratio(
+            current["totals"][mode]["chunks_per_s"],
+            baseline.get("totals", {}).get(mode, {}).get("chunks_per_s", 0.0),
+        )
+        speedups["totals"][mode] = r
+        if r is not None and r < 1.0 - threshold:
+            regressions.append(
+                f"totals/{mode}: chunks/s fell to {r:.2f}x of baseline"
+            )
+    for name, entry in current["workloads"].items():
+        old_entry = baseline.get("workloads", {}).get(name)
+        if old_entry is None:
+            continue
+        speedups["workloads"][name] = {}
+        for mode in ("engine_only", "monitored"):
+            r = ratio(
+                entry[mode]["chunks_per_s"],
+                old_entry.get(mode, {}).get("chunks_per_s", 0.0),
+            )
+            speedups["workloads"][name][mode] = r
+            if r is not None and r < 1.0 - threshold:
+                regressions.append(
+                    f"{name}/{mode}: chunks/s fell to {r:.2f}x of baseline"
+                )
+    return {
+        "threshold": threshold,
+        "speedups": speedups,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render(doc: dict) -> str:
+    """Paper-style fixed-width table for one bench-perf document."""
+    rows = []
+    for name, entry in doc["workloads"].items():
+        eng, mon = entry["engine_only"], entry["monitored"]
+        rows.append([
+            name,
+            f"{eng['wall_s']:.2f}s",
+            f"{eng['chunks_per_s']:,.0f}",
+            f"{eng['accesses_per_s'] / 1e6:.1f}M",
+            f"{mon['wall_s']:.2f}s",
+            f"{mon['overhead_pct']:+.0f}%",
+        ])
+    tot = doc["totals"]
+    rows.append([
+        "TOTAL",
+        f"{tot['engine_only']['wall_s']:.2f}s",
+        f"{tot['engine_only']['chunks_per_s']:,.0f}",
+        f"{tot['engine_only']['accesses_per_s'] / 1e6:.1f}M",
+        f"{tot['monitored']['wall_s']:.2f}s",
+        f"{tot['monitored_overhead_pct']:+.0f}%",
+    ])
+    return fmt_table(
+        ["workload", "engine s", "chunks/s", "accesses/s", "monitored s",
+         "overhead"],
+        rows,
+        title=f"bench-perf — {doc['preset']}, {doc['threads']} threads, "
+        f"{doc['mechanism']} period {doc['period']}",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench-perf",
+        description="Engine hot-path microbenchmark with regression check.",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the results JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to compare against (default: "
+                        f"{DEFAULT_BASELINE}, else the previous output)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="tolerated fractional chunks/s drop (0.2 = 20%%)")
+    parser.add_argument("--preset", default="magny_cours",
+                        choices=sorted(presets.PRESETS))
+    parser.add_argument("--threads", type=int, default=48)
+    parser.add_argument("--mechanism", default="IBS")
+    parser.add_argument("--period", type=int, default=4096)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload-size multiplier (0.1 = 10%% inputs)")
+    return parser
+
+
+def _load_baseline(args) -> tuple[dict | None, str | None]:
+    candidates = [args.baseline] if args.baseline else [
+        DEFAULT_BASELINE, args.output,
+    ]
+    for cand in candidates:
+        if cand and Path(cand).is_file():
+            with open(cand) as fh:
+                doc = json.load(fh)
+            if doc.get("schema") == SCHEMA:
+                return doc, cand
+    return None, None
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    baseline, baseline_path = _load_baseline(args)
+
+    doc = run_perf(
+        preset=args.preset,
+        threads=args.threads,
+        mechanism=args.mechanism,
+        period=args.period,
+        scale=args.scale,
+    )
+    if baseline is not None:
+        doc["comparison"] = dict(
+            compare(doc, baseline, args.threshold), baseline=baseline_path
+        )
+
+    out = Path(args.output)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+
+    print(render(doc))
+    comparison = doc.get("comparison")
+    if comparison is None:
+        print(f"\nno baseline found — recorded {out} as the new reference")
+        return 0
+    eng = comparison["speedups"]["totals"]["engine_only"]
+    mon = comparison["speedups"]["totals"]["monitored"]
+    print(f"\nvs baseline {comparison['baseline']}: engine-only "
+          f"{eng:.2f}x, monitored {mon:.2f}x (threshold "
+          f"{comparison['threshold']:.0%} drop)")
+    for reg in comparison["regressions"]:
+        print(f"  REGRESSION: {reg}")
+    return 0 if comparison["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

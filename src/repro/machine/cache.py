@@ -96,6 +96,40 @@ class ChunkClassification:
         return int(np.count_nonzero(self.levels != LEVEL_L1))
 
 
+@dataclass
+class ChunkSummary:
+    """Output of :meth:`CacheHierarchy.classify_summary` for one chunk.
+
+    ``fetch`` marks the accesses that fetch a new cache line; they are all
+    serviced at ``fetch_level`` while every other access hits L1, so the
+    full per-access level array of :class:`ChunkClassification` is
+    recoverable but never allocated.
+    """
+
+    fetch: np.ndarray           # per-access line-fetch mask
+    fetch_level: int            # service level of all fetches
+    sequential: bool            # prefetchable stream?
+    footprint_bytes: int        # unique lines touched * line size
+
+    @property
+    def n_fetches(self) -> int:
+        """Number of line fetches (``footprint / line_size``)."""
+        return int(np.count_nonzero(self.fetch))
+
+
+@dataclass
+class StepClassification:
+    """Output of :meth:`CacheHierarchy.classify_step` for one step.
+
+    ``levels`` concatenates every chunk's per-access service levels in
+    step order; ``sequential`` and ``footprints`` are per-chunk.
+    """
+
+    levels: np.ndarray          # concatenated per-access service levels
+    sequential: np.ndarray      # per-chunk prefetchable-stream flags
+    footprints: np.ndarray      # per-chunk unique-line bytes
+
+
 def is_sequential(addrs: np.ndarray) -> bool:
     """Detect a prefetchable (mostly small-forward-stride) access stream."""
     if addrs.size < 2:
@@ -123,6 +157,35 @@ class CacheHierarchy:
         self._stream_pos.clear()
         self._last_visit.clear()
 
+    def _fetch_level(
+        self, cpu: int, seg_id: int, first_addr: int, footprint: int
+    ) -> int:
+        """Reuse-distance lookup + state update for one chunk's fetches.
+
+        Reuse state is keyed by (cpu, segment, L3-sized block within the
+        segment): touching a *different* region of the same variable
+        (e.g. the next angle plane of UMT's STime) is a compulsory miss,
+        not a hot revisit.
+        """
+        pos = self._stream_pos.get(cpu, 0)
+        block = first_addr // max(self.config.l3_bytes, 1)
+        key = (cpu, seg_id, block)
+        last = self._last_visit.get(key)
+        if last is None:
+            fetch_level = LEVEL_DRAM  # compulsory: first visit ever
+        else:
+            distance = (pos - last) + footprint
+            if distance <= self.config.l2_bytes:
+                fetch_level = LEVEL_L2
+            elif distance <= self.config.l3_bytes:
+                fetch_level = LEVEL_L3
+            else:
+                fetch_level = LEVEL_DRAM
+        new_pos = pos + footprint
+        self._stream_pos[cpu] = new_pos
+        self._last_visit[key] = new_pos
+        return fetch_level
+
     def classify(
         self,
         addrs: np.ndarray,
@@ -145,36 +208,115 @@ class CacheHierarchy:
         lines = addrs // self.config.line_size
         fetch = first_occurrence_mask(lines)
         footprint = int(np.count_nonzero(fetch)) * self.config.line_size
-
-        pos = self._stream_pos.get(cpu, 0)
-        # Reuse state is keyed by (cpu, segment, L3-sized block within the
-        # segment): touching a *different* region of the same variable
-        # (e.g. the next angle plane of UMT's STime) is a compulsory miss,
-        # not a hot revisit.
-        block = int(addrs[0]) // max(self.config.l3_bytes, 1)
-        key = (cpu, seg_id, block)
-        last = self._last_visit.get(key)
-        if last is None:
-            fetch_level = LEVEL_DRAM  # compulsory: first visit ever
-        else:
-            distance = (pos - last) + footprint
-            if distance <= self.config.l2_bytes:
-                fetch_level = LEVEL_L2
-            elif distance <= self.config.l3_bytes:
-                fetch_level = LEVEL_L3
-            else:
-                fetch_level = LEVEL_DRAM
-        levels[fetch] = fetch_level
-
-        new_pos = pos + footprint
-        self._stream_pos[cpu] = new_pos
-        self._last_visit[key] = new_pos
+        levels[fetch] = self._fetch_level(cpu, seg_id, int(addrs[0]), footprint)
 
         return ChunkClassification(
             levels=levels,
             sequential=is_sequential(addrs),
             footprint_bytes=footprint,
         )
+
+    def classify_summary(
+        self,
+        addrs: np.ndarray,
+        cpu: int,
+        seg_id: int,
+    ) -> ChunkSummary:
+        """Like :meth:`classify`, without materializing per-access levels.
+
+        Returns the line-fetch mask and the scalar service level of those
+        fetches (all other accesses hit L1). Monitor-less engine runs only
+        need aggregate cycle/traffic sums, so they use this summary and
+        touch per-access data solely on the fetch subset; reuse-distance
+        state advances exactly as :meth:`classify` does.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return ChunkSummary(np.empty(0, dtype=bool), LEVEL_L1, True, 0)
+        lines = addrs // self.config.line_size
+        fetch = first_occurrence_mask(lines)
+        footprint = int(np.count_nonzero(fetch)) * self.config.line_size
+        level = self._fetch_level(cpu, seg_id, int(addrs[0]), footprint)
+        return ChunkSummary(fetch, level, is_sequential(addrs), footprint)
+
+    def classify_step(
+        self,
+        addrs: np.ndarray,
+        starts: np.ndarray,
+        cpus: list[int],
+        seg_ids: list[int],
+    ) -> StepClassification:
+        """Classify a whole execution step's chunks in one batched pass.
+
+        ``addrs`` concatenates the step's chunk addresses; chunk ``j``
+        occupies ``addrs[starts[j]:starts[j+1]]`` and was issued by
+        hardware thread ``cpus[j]`` against segment ``seg_ids[j]``.
+        Equivalent to calling :meth:`classify` once per chunk in order —
+        the reuse-distance state updates happen in the same chunk order —
+        but the per-access work (line mapping, first-occurrence masks,
+        footprints, sequentiality) runs as step-wide array operations.
+        """
+        n_chunks = len(cpus)
+        levels = np.full(addrs.shape, LEVEL_L1, dtype=np.uint8)
+        sequential = np.ones(n_chunks, dtype=bool)
+        footprints = np.zeros(n_chunks, dtype=np.int64)
+        if addrs.size == 0:
+            return StepClassification(levels, sequential, footprints)
+
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.diff(starts)
+        lines = addrs // self.config.line_size
+
+        # Global delta arrays; entries that span a chunk boundary are
+        # neutralized below (the boundary position is forced True in the
+        # fetch mask, and per-chunk delta counts only cover interior
+        # deltas via the exclusive-cumsum trick).
+        fetch = np.empty(addrs.shape, dtype=bool)
+        fetch[0] = True
+        if addrs.size > 1:
+            ldeltas = np.diff(lines)
+            adeltas = np.diff(addrs)
+            fetch[1:] = ldeltas > 0
+            neg_cum = np.concatenate(
+                ([0], np.cumsum(ldeltas < 0, dtype=np.int64))
+            )
+            seq_ok = (adeltas >= 0) & (adeltas <= SEQUENTIAL_STRIDE_LIMIT)
+            ok_cum = np.concatenate(([0], np.cumsum(seq_ok, dtype=np.int64)))
+        else:
+            neg_cum = np.zeros(1, dtype=np.int64)
+            ok_cum = np.zeros(1, dtype=np.int64)
+        fetch[starts[:-1]] = True
+
+        # Interior deltas of chunk j are global delta indices
+        # [starts[j], starts[j+1] - 2]; sums over them come from the
+        # exclusive cumulative counts.
+        s, e = starts[:-1], starts[1:]
+        n_deltas = lengths - 1
+        n_neg = neg_cum[np.maximum(e - 1, s)] - neg_cum[s]
+        n_ok = ok_cum[np.maximum(e - 1, s)] - ok_cum[s]
+        sequential = (n_deltas < 1) | (n_ok >= SEQUENTIAL_FRACTION * n_deltas)
+
+        # Chunks with backward line jumps need the generic (np.unique)
+        # first-occurrence mask; recompute only their slices.
+        for j in np.nonzero(n_neg > 0)[0]:
+            fetch[s[j] : e[j]] = first_occurrence_mask(lines[s[j] : e[j]])
+
+        fetch_cum = np.concatenate(([0], np.cumsum(fetch, dtype=np.int64)))
+        footprints = (fetch_cum[e] - fetch_cum[s]) * self.config.line_size
+
+        # Reuse-distance state is inherently sequential per chunk, but it
+        # is all O(1) dict work on scalars; the per-access arrays above
+        # never enter this loop.
+        fetch_levels = np.empty(n_chunks, dtype=np.uint8)
+        for j in range(n_chunks):
+            fetch_levels[j] = self._fetch_level(
+                cpus[j], seg_ids[j], int(addrs[starts[j]]), int(footprints[j])
+            )
+
+        levels = np.where(
+            fetch, np.repeat(fetch_levels, lengths), np.uint8(LEVEL_L1)
+        )
+        return StepClassification(levels, sequential, footprints)
 
     def level_counts(self, levels: np.ndarray) -> dict[str, int]:
         """Histogram of service levels, keyed by level name."""

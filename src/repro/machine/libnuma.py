@@ -62,6 +62,8 @@ class LibNuma:
                 continue
             if old >= 0:
                 pt.frames.release(old, 1)
+            else:
+                seg.n_unbound -= 1
             pt.frames.reserve_exact(int(node), 1)
             seg.domains[local] = node
         return pt.domains_of_addrs(addrs)

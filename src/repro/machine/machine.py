@@ -104,10 +104,62 @@ class Machine:
 
         ``target_domains`` carries the page owner per access (pages must be
         bound before classification — the engine touches pages first).
+        Addresses must fall inside ``seg`` (chunks are single-variable by
+        construction), which makes the owner lookup a direct gather.
         """
         classification = self.cache.classify(addrs, cpu, seg.seg_id)
-        target_domains = self.page_table.domains_of_addrs(addrs)
+        pages = np.asarray(addrs, dtype=np.int64) // self.page_size
+        target_domains = seg.domains[pages - seg.start_page]
         return classification, target_domains
+
+    def classify_step(
+        self,
+        addrs: np.ndarray,
+        starts: np.ndarray,
+        cpus: list[int],
+        segments: list[Segment],
+    ):
+        """Return ``(step_classification, target_domains)`` for one step.
+
+        Batched analogue of :meth:`classify_accesses` over the step's
+        concatenated chunk addresses (chunk ``j`` spans
+        ``addrs[starts[j]:starts[j+1]]``); pages must be bound first.
+        Chunks are single-segment by construction, so the page-owner
+        lookup is a direct gather from each chunk's segment rather than a
+        generic page-table walk.
+        """
+        classification = self.cache.classify_step(
+            addrs, starts, cpus, [seg.seg_id for seg in segments]
+        )
+        starts = np.asarray(starts, dtype=np.int64)
+        pages = addrs // self.page_size
+        target_domains = np.empty(addrs.shape, dtype=np.int64)
+        for k, seg in enumerate(segments):
+            s, e = starts[k], starts[k + 1]
+            target_domains[s:e] = seg.domains[pages[s:e] - seg.start_page]
+        return classification, target_domains
+
+    def step_access_latency(
+        self,
+        levels: np.ndarray,
+        target_domains: np.ndarray,
+        accessor_domains: np.ndarray,
+        starts: np.ndarray,
+        inflation: np.ndarray,
+        sequential: np.ndarray,
+        interleaved: np.ndarray,
+    ) -> np.ndarray:
+        """Batched per-access latency for one step's concatenated chunks."""
+        return self.latency_model.step_latency(
+            levels,
+            target_domains,
+            accessor_domains,
+            starts,
+            self.topology,
+            inflation,
+            sequential,
+            interleaved,
+        )
 
     def dram_request_counts(
         self, levels: np.ndarray, target_domains: np.ndarray

@@ -80,6 +80,13 @@ class Segment:
     protected: np.ndarray
     label: str = ""
     first_toucher_cpu: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Cached counts of still-unbound and still-protected pages. The
+    #: engine's hot path consults these to skip per-chunk page scans once
+    #: a segment is fully bound and unprotected; every mutation of
+    #: ``domains``/``protected`` (page table methods and
+    #: :meth:`~repro.machine.libnuma.LibNuma.move_pages`) keeps them exact.
+    n_unbound: int = 0
+    n_protected: int = 0
 
     @property
     def end(self) -> int:
@@ -209,6 +216,7 @@ class PageTable:
         else:  # pragma: no cover - enum is closed
             raise AllocationError(f"unknown policy {policy}")
 
+        seg.n_unbound = int(np.count_nonzero(dom == UNBOUND))
         self._segments[seg.seg_id] = seg
         self._rebuild_index()
         return seg
@@ -320,6 +328,8 @@ class PageTable:
         newly_bound: list[np.ndarray] = []
         for si in np.unique(seg_idx):
             seg = self._segments[int(self._ids[si])]
+            if seg.n_unbound == 0:
+                continue
             local = pages[seg_idx == si] - seg.start_page
             unbound = local[seg.domains[local] == UNBOUND]
             if unbound.size == 0:
@@ -330,6 +340,7 @@ class PageTable:
             got = self.frames.reserve(domain, int(unbound.size))
             seg.domains[unbound] = got
             seg.first_toucher_cpu[unbound] = cpu
+            seg.n_unbound -= int(unbound.size)
             newly_bound.append(unbound + seg.start_page)
         if not newly_bound:
             return np.empty(0, dtype=np.int64)
@@ -354,16 +365,19 @@ class PageTable:
             return 0
         lo = first_full - seg.start_page
         hi = last_full - seg.start_page
+        seg.n_protected += (hi - lo) - int(np.count_nonzero(seg.protected[lo:hi]))
         seg.protected[lo:hi] = True
         return hi - lo
 
     def unprotect_pages(self, pages: np.ndarray) -> None:
         """Clear protection on the given absolute page numbers."""
-        pages = np.asarray(pages, dtype=np.int64)
+        pages = fast_unique(np.asarray(pages, dtype=np.int64))
         seg_idx = self.segments_of_pages(pages)
         for si in np.unique(seg_idx):
             seg = self._segments[int(self._ids[si])]
-            seg.protected[pages[seg_idx == si] - seg.start_page] = False
+            local = pages[seg_idx == si] - seg.start_page
+            seg.n_protected -= int(np.count_nonzero(seg.protected[local]))
+            seg.protected[local] = False
 
     def protected_mask(self, pages: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``pages`` are currently protected."""
@@ -435,6 +449,7 @@ class PageTable:
             pass
         else:  # pragma: no cover
             raise AllocationError(f"unknown policy {policy}")
+        seg.n_unbound = int(np.count_nonzero(seg.domains == UNBOUND))
 
     # ------------------------------------------------------------------ #
     # statistics

@@ -16,7 +16,7 @@ import numpy as np
 from repro.profiler.addresscentric import bin_count_for, bin_indices
 from repro.profiler.cct import CCT
 from repro.runtime.callstack import CallPath
-from repro.runtime.heap import Variable, VariableKind
+from repro.runtime.heap import Variable
 
 
 @dataclass

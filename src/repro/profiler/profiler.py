@@ -37,9 +37,8 @@ from repro.profiler.profile_data import (
 )
 from repro.runtime.callstack import CallPath
 from repro.runtime.chunks import AccessChunk
-from repro.runtime.engine import ExecutionEngine, Monitor, RunResult
+from repro.runtime.engine import ChunkView, ExecutionEngine, Monitor, RunResult
 from repro.runtime.heap import Variable, VariableKind
-from repro.runtime.program import Region
 from repro.sampling.base import SamplingMechanism
 
 
@@ -149,9 +148,38 @@ class NumaProfiler(Monitor):
         latencies: np.ndarray,
         path: CallPath,
     ) -> float:
-        """Sample the chunk and attribute code-, data-, address-centric."""
+        """Per-chunk compatibility entry point: rebuild the step masks.
+
+        The engine now delivers chunks through :meth:`on_step` with the
+        DRAM/remote masks precomputed on the step's concatenated arrays;
+        direct per-chunk callers go through this wrapper instead.
+        """
         profile = self._profile(tid)
-        batch = self.mechanism.select(tid, chunk, levels, target_domains, latencies)
+        view = ChunkView(
+            tid=tid,
+            cpu=cpu,
+            domain=profile.domain,
+            chunk=chunk,
+            levels=levels,
+            target_domains=target_domains,
+            latencies=latencies,
+            path=path,
+            dram_mask=np.asarray(levels) == LEVEL_DRAM,
+            remote_mask=np.asarray(target_domains) != profile.domain,
+        )
+        return self._observe(view)
+
+    def on_step(self, views: list[ChunkView]) -> list[float]:
+        """Batched observation: one engine call per step, masks shared."""
+        return [self._observe(v) for v in views]
+
+    def _observe(self, view: ChunkView) -> float:
+        """Sample one chunk and attribute code-, data-, address-centric."""
+        chunk = view.chunk
+        profile = self._profile(view.tid)
+        batch = self.mechanism.select(
+            view.tid, chunk, view.levels, view.target_domains, view.latencies
+        )
         caps = self.mechanism.capabilities
 
         profile.counters["instructions"] += chunk.n_instructions
@@ -168,23 +196,20 @@ class NumaProfiler(Monitor):
         # Absolute remote-event counter (conventional PMU counter running
         # alongside sampling; available on counting-capable mechanisms).
         if caps.counts_absolute_events and chunk.n_accesses:
-            thread_domain = profile.domain
             remote_events = int(
-                np.count_nonzero(
-                    (levels == LEVEL_DRAM) & (target_domains != thread_domain)
-                )
+                np.count_nonzero(view.dram_mask & view.remote_mask)
             )
             metrics[MetricNames.EVENTS_NUMA] = float(remote_events)
 
         if batch.n_samples == 0:
-            self._attribute_code(profile, path, metrics)
+            self._attribute_code(profile, view.path, metrics)
             return self.mechanism.cost_cycles(batch, chunk)
 
         idx = batch.indices
         s_addrs = chunk.addrs[idx]
-        s_targets = target_domains[idx]
-        s_lat = latencies[idx]
-        remote = s_targets != profile.domain
+        s_targets = view.target_domains[idx]
+        s_lat = view.latencies[idx]
+        remote = view.remote_mask[idx]
 
         metrics[MetricNames.SAMPLES] = float(batch.n_samples)
         metrics[MetricNames.NUMA_MATCH] = float(np.count_nonzero(~remote))
@@ -194,12 +219,16 @@ class NumaProfiler(Monitor):
         )
         for d in np.nonzero(dom_counts)[0]:
             metrics[MetricNames.numa_node(int(d))] = float(dom_counts[d])
-        if caps.measures_latency and batch.latency_captured:
+        lat_captured = caps.measures_latency and batch.latency_captured
+        if lat_captured:
             metrics[MetricNames.LAT_TOTAL] = float(s_lat.sum())
             metrics[MetricNames.LAT_REMOTE] = float(s_lat[remote].sum())
 
-        self._attribute_code(profile, path, metrics)
-        self._attribute_data(profile, chunk, path, s_addrs, metrics)
+        self._attribute_code(profile, view.path, metrics)
+        self._attribute_data(
+            profile, chunk, view.path, s_addrs, remote,
+            s_lat if lat_captured else None, metrics,
+        )
         return self.mechanism.cost_cycles(batch, chunk)
 
     def on_run_end(self, result: RunResult) -> None:
@@ -225,6 +254,8 @@ class NumaProfiler(Monitor):
         chunk: AccessChunk,
         path: CallPath,
         s_addrs: np.ndarray,
+        remote: np.ndarray,
+        s_lat: np.ndarray | None,
         metrics: dict[str, float],
     ) -> None:
         # Resolve through the registry (the real tool's heap/symbol map);
@@ -239,7 +270,7 @@ class NumaProfiler(Monitor):
         for name, value in metrics.items():
             rec.metrics[name] += value
         bins = rec.record_samples(path, s_addrs)
-        self._attribute_bins(rec, bins, s_addrs, profile, metrics)
+        self._attribute_bins(rec, bins, remote, s_lat)
         # Augmented CCT: variable costs under allocation path + dummy +
         # access path (mixed calling-context sequence, Section 7.1).
         mixed = var.alloc_path + (DUMMY_ACCESS,) + path
@@ -249,23 +280,32 @@ class NumaProfiler(Monitor):
         self,
         rec,
         bins: np.ndarray,
-        s_addrs: np.ndarray,
-        profile: ThreadProfile,
-        metrics: dict[str, float],
+        remote: np.ndarray,
+        s_lat: np.ndarray | None,
     ) -> None:
-        # Per-bin sample counts scale the shareable metrics; latency and
-        # match/mismatch are attributed by each sample's own bin.
-        n = float(len(s_addrs))
+        """Attribute each sample's own metrics to its own bin.
+
+        Section 5.2's hot-spot semantics: a bin full of remote samples
+        must show all the mismatches and remote latency, not an average
+        share — so every per-bin metric is a weighted bincount over the
+        actual per-sample arrays, never a proportional split.
+        """
         counts = np.bincount(bins, minlength=rec.n_bins)
+        mismatch = np.bincount(
+            bins, weights=remote.astype(np.float64), minlength=rec.n_bins
+        )
+        if s_lat is not None:
+            lat_total = np.bincount(bins, weights=s_lat, minlength=rec.n_bins)
+            lat_remote = np.bincount(
+                bins, weights=np.where(remote, s_lat, 0.0), minlength=rec.n_bins
+            )
         for b in np.nonzero(counts)[0]:
-            share = counts[b] / n
-            bin_rec = rec.bins[int(b)]
-            for name in (
-                MetricNames.SAMPLES,
-                MetricNames.NUMA_MATCH,
-                MetricNames.NUMA_MISMATCH,
-                MetricNames.LAT_TOTAL,
-                MetricNames.LAT_REMOTE,
-            ):
-                if name in metrics:
-                    bin_rec.metrics[name] += metrics[name] * share
+            bin_metrics = rec.bins[int(b)].metrics
+            bin_metrics[MetricNames.SAMPLES] += float(counts[b])
+            bin_metrics[MetricNames.NUMA_MATCH] += float(
+                counts[b] - mismatch[b]
+            )
+            bin_metrics[MetricNames.NUMA_MISMATCH] += float(mismatch[b])
+            if s_lat is not None:
+                bin_metrics[MetricNames.LAT_TOTAL] += float(lat_total[b])
+                bin_metrics[MetricNames.LAT_REMOTE] += float(lat_remote[b])

@@ -80,6 +80,21 @@ class TimelineRecorder(Monitor):
             return 0.0
         domain = self._machine.topology.domain_of_cpu(cpu)
         remote = target_domains != domain
+        dram = levels == LEVEL_DRAM
+        self._record(bucket, chunk, dram, remote, latencies)
+        return 0.0
+
+    def on_step(self, views) -> list[float]:
+        """Batched observation using the engine's precomputed masks."""
+        for v in views:
+            bucket = self._bucket(v.tid)
+            if bucket is None or v.chunk.n_accesses == 0:
+                continue
+            self._record(bucket, v.chunk, v.dram_mask, v.remote_mask,
+                         v.latencies)
+        return [0.0] * len(views)
+
+    def _record(self, bucket, chunk, dram, remote, latencies) -> None:
         bucket.metrics[MetricNames.NUMA_MATCH] += float(
             np.count_nonzero(~remote)
         )
@@ -88,10 +103,8 @@ class TimelineRecorder(Monitor):
         )
         bucket.metrics[MetricNames.LAT_TOTAL] += float(latencies.sum())
         bucket.metrics[MetricNames.LAT_REMOTE] += float(latencies[remote].sum())
-        dram = levels == LEVEL_DRAM
         bucket.metrics["DRAM"] += float(np.count_nonzero(dram))
         bucket.metrics[MetricNames.INSTR] += float(chunk.n_instructions)
-        return 0.0
 
     # ------------------------------------------------------------------ #
 
@@ -156,6 +169,13 @@ class CompositeMonitor(Monitor):
             m.on_chunk(tid, cpu, chunk, levels, targets, lat, path)
             for m in self.monitors
         )
+
+    def on_step(self, views) -> list[float]:
+        totals = [0.0] * len(views)
+        for m in self.monitors:
+            for i, cost in enumerate(m.on_step(views)):
+                totals[i] += cost
+        return totals
 
     def on_run_end(self, result) -> None:
         for m in self.monitors:

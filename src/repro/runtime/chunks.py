@@ -9,7 +9,7 @@ array operations (see the hpc-parallel guides: vectorize the hot loop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,7 @@ native stack support as future work — here both are available.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import AllocationError
 from repro.machine.machine import Machine

@@ -12,7 +12,7 @@ studies revolve around.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol
 
 import numpy as np

@@ -11,7 +11,7 @@ sampled".
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -127,6 +127,10 @@ class SamplingMechanism(abc.ABC):
         if period <= 0:
             raise MechanismError(f"period must be positive, got {period}")
         self.period = int(period)
+        #: Hoisted constant for the instruction-sampling jitter window —
+        #: it only depends on the period, so the hot select() path must
+        #: not recompute it per chunk.
+        self._jitter_width = min(self.period, 64)
         self.per_sample_cycles = per_sample_cycles
         self.per_access_cycles = per_access_cycles
         self.instr_tax_cycles = instr_tax_cycles
@@ -213,7 +217,7 @@ class InstructionSamplingMixin:
         # Randomize low bits of each sample position (as hardware does) so
         # the period never aliases with the chunk's access/instruction
         # interleave; carry accounting stays on the unjittered grid.
-        jitter_width = min(self.period, 64)
+        jitter_width = self._jitter_width
         if jitter_width > 1:
             jitter = self._rng.integers(0, jitter_width, size=positions.size)
             positions = np.maximum(positions - jitter, 0)

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.machine import presets
 from repro.machine.machine import Machine
-from repro.machine.topology import NumaTopology
 from repro.profiler import NumaProfiler
 from repro.runtime import ExecutionEngine
 from repro.runtime.callstack import SourceLoc

@@ -1,7 +1,6 @@
 """Address-centric binning: bin counts, edges, index mapping."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.profiler.addresscentric import (

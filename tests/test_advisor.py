@@ -1,11 +1,9 @@
 """The optimization advisor: verdicts and per-variable recommendations."""
 
-import pytest
 
 from repro.analysis import NumaAnalysis, advise, merge_profiles
 from repro.analysis.advisor import Action
 from repro.machine import presets
-from repro.optim.policies import NumaTuning
 from repro.profiler import NumaProfiler
 from repro.runtime import ExecutionEngine
 from repro.sampling import IBS

@@ -10,7 +10,6 @@ from repro.runtime.heap import VariableKind
 from repro.machine import presets
 from repro.sampling import IBS, MRK
 
-from tests.conftest import ToyProgram
 
 
 @pytest.fixture

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench import RunBundle, fmt_table, record_experiment, run_workload
+from repro.bench import fmt_table, record_experiment, run_workload
 from repro.bench.harness import pct
 from repro.machine import presets
 from repro.runtime.thread import BindingPolicy

@@ -1,0 +1,122 @@
+"""Tests for the bench-perf microbenchmark runner and regression check."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import perf
+from tests.conftest import ToyProgram
+
+
+def fake_doc(rates: dict) -> dict:
+    """Build a minimal ``bench-perf/v1`` doc from workload -> chunks/s."""
+    doc: dict = {"schema": perf.SCHEMA, "workloads": {}, "totals": {}}
+    total = 0.0
+    for name, cps in rates.items():
+        doc["workloads"][name] = {
+            "engine_only": {"chunks_per_s": cps},
+            "monitored": {"chunks_per_s": cps / 2.0},
+        }
+        total += cps
+    doc["totals"] = {
+        "engine_only": {"chunks_per_s": total},
+        "monitored": {"chunks_per_s": total / 2.0},
+    }
+    return doc
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        res = perf.compare(
+            fake_doc({"w": 95.0}), fake_doc({"w": 100.0}), threshold=0.2
+        )
+        assert res["ok"]
+        assert res["regressions"] == []
+        assert res["speedups"]["workloads"]["w"]["engine_only"] == 0.95
+
+    def test_regression_flagged_below_threshold(self):
+        res = perf.compare(
+            fake_doc({"w": 70.0}), fake_doc({"w": 100.0}), threshold=0.2
+        )
+        assert not res["ok"]
+        assert any("w/engine_only" in r for r in res["regressions"])
+        assert any("totals/engine_only" in r for r in res["regressions"])
+
+    def test_speedup_is_never_a_regression(self):
+        res = perf.compare(
+            fake_doc({"w": 500.0}), fake_doc({"w": 100.0}), threshold=0.2
+        )
+        assert res["ok"]
+        assert res["speedups"]["totals"]["engine_only"] == 5.0
+
+    def test_workload_missing_from_baseline_is_skipped(self):
+        res = perf.compare(
+            fake_doc({"w": 100.0, "new": 1.0}),
+            fake_doc({"w": 100.0}),
+            threshold=0.2,
+        )
+        assert res["ok"]
+        assert "new" not in res["speedups"]["workloads"]
+
+
+class TestRunPerf:
+    def test_document_shape(self):
+        doc = perf.run_perf(
+            preset="magny_cours",
+            threads=8,
+            workloads={"toy": lambda: ToyProgram(8_000, steps=1)},
+        )
+        assert doc["schema"] == perf.SCHEMA
+        entry = doc["workloads"]["toy"]
+        for mode in ("engine_only", "monitored"):
+            assert entry[mode]["chunks"] > 0
+            assert entry[mode]["chunks_per_s"] > 0
+            assert entry[mode]["accesses_per_s"] > 0
+        assert "overhead_pct" in entry["monitored"]
+        assert doc["totals"]["engine_only"]["chunks"] == entry["engine_only"][
+            "chunks"
+        ]
+
+    def test_render_mentions_every_workload(self):
+        doc = perf.run_perf(
+            preset="magny_cours",
+            threads=8,
+            workloads={"toy": lambda: ToyProgram(8_000, steps=1)},
+        )
+        table = perf.render(doc)
+        assert "toy" in table
+        assert "TOTAL" in table
+
+
+class TestMain:
+    def test_writes_json_and_self_compares(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(out),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == perf.SCHEMA
+        assert set(doc["workloads"]) == {"lulesh", "amg", "blackscholes", "umt"}
+
+        # Second run compared against the first: throughput cannot drop
+        # by 95% between back-to-back identical runs.
+        out2 = tmp_path / "bench2.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(out2),
+                "--baseline", str(out),
+                "--threshold", "0.95",
+            ]
+        )
+        assert rc == 0
+        doc2 = json.loads(out2.read_text())
+        assert doc2["comparison"]["ok"]
+        assert "vs baseline" in capsys.readouterr().out

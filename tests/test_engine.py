@@ -1,14 +1,12 @@
 """Execution engine: scheduling, barriers, cycle accounting, hooks."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ProgramError
 from repro.machine import presets
-from repro.machine.pagetable import UNBOUND
 from repro.runtime import ExecutionEngine, Monitor
 from repro.runtime.callstack import SourceLoc
-from repro.runtime.chunks import compute_chunk, sweep_chunk
+from repro.runtime.chunks import compute_chunk
 from repro.runtime.program import Region, RegionKind
 from repro.runtime.thread import BindingPolicy
 

@@ -6,7 +6,6 @@ inconsistent resolutions must surface as the right exception at the
 right moment.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import AllocationError, ProfileError, ProgramError

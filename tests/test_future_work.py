@@ -6,8 +6,6 @@
 (Future work #3, time-varying traces, is covered by test_timeline.py.)
 """
 
-import numpy as np
-import pytest
 
 from repro.machine import presets
 from repro.profiler import NumaProfiler

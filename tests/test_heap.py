@@ -1,6 +1,5 @@
 """Heap/static/stack allocators with allocation call paths."""
 
-import numpy as np
 import pytest
 
 from repro.errors import AllocationError

@@ -5,7 +5,6 @@ on a workload with a known ground-truth bottleneck, plus cross-mechanism
 consistency and determinism checks.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -7,7 +7,6 @@ from repro.analysis.merge import merge_profiles, merge_ranges
 from repro.errors import ProfileError
 from repro.profiler.metrics import MetricNames
 from repro.profiler.profile_data import ProfileArchive
-from repro.runtime.callstack import SourceLoc
 
 
 class TestMergeRanges:

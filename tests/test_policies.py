@@ -1,6 +1,5 @@
 """Tuning configurations."""
 
-import pytest
 
 from repro.machine.pagetable import PlacementPolicy
 from repro.optim.policies import (

@@ -1,6 +1,5 @@
 """The online profiler: attribution correctness against ground truth."""
 
-import numpy as np
 import pytest
 
 from repro.machine import presets

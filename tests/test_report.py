@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import full_report, merge_profiles
-from repro.machine import presets
 from repro.profiler import NumaProfiler
 from repro.runtime import ExecutionEngine
 from repro.sampling import IBS, MRK

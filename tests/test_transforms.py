@@ -1,6 +1,5 @@
 """Advice -> tuning transforms."""
 
-import pytest
 
 from repro.analysis.advisor import Action, Advice, Recommendation
 from repro.analysis.patterns import AccessPattern, PatternReport

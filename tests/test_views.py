@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    NumaAnalysis,
     address_centric_series,
     address_centric_view,
     code_centric_view,

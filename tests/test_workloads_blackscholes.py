@@ -1,6 +1,5 @@
 """Blackscholes workload: staggered sections, low lpi, regroup transform."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import NumaAnalysis, classify_ranges, merge_profiles

@@ -4,7 +4,6 @@ Uses reduced problem sizes; the full-scale shape checks live in the
 benchmarks.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis import NumaAnalysis, classify_ranges, merge_profiles

@@ -1,7 +1,6 @@
 """Synthetic workloads and the shared workload base machinery."""
 
 import numpy as np
-import pytest
 
 from repro.machine import presets
 from repro.machine.pagetable import PlacementPolicy, UNBOUND
