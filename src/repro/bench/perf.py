@@ -14,6 +14,16 @@ the run is compared against it: any engine-only or monitored chunks/s
 throughput that drops by more than ``--threshold`` (default 20%) is
 reported as a regression and the process exits non-zero, so CI can keep
 the "low runtime overhead" claim honest as the engine evolves.
+
+Baselines only count when they were recorded with the same configuration
+(preset, threads, mechanism, period, scale) — comparing throughput
+across different run shapes is meaningless, so mismatched files are
+ignored with a notice.
+
+``--check`` is the CI smoke mode: inputs scaled to ``SMOKE_SCALE``,
+compared against the committed ``results/BENCH_perf_smoke_baseline.json``
+at a laxer threshold (shared CI hosts are noisy), exiting non-zero on
+regression.
 """
 
 from __future__ import annotations
@@ -39,6 +49,17 @@ DEFAULT_BASELINE = "results/BENCH_perf_baseline.json"
 
 #: Relative chunks/s drop tolerated before the run counts as a regression.
 DEFAULT_THRESHOLD = 0.2
+
+#: ``--check`` smoke mode: scaled-down inputs against a dedicated
+#: committed baseline, with a laxer threshold because CI hosts are noisy.
+SMOKE_OUTPUT = "BENCH_perf_smoke.json"
+SMOKE_BASELINE = "results/BENCH_perf_smoke_baseline.json"
+SMOKE_SCALE = 0.1
+SMOKE_THRESHOLD = 0.5
+
+#: Baseline keys that must match the requested run configuration —
+#: comparing throughputs across different presets/sizes is meaningless.
+CONFIG_KEYS = ("preset", "threads", "mechanism", "period", "scale")
 
 
 def default_workloads(scale: float = 1.0) -> dict:
@@ -227,39 +248,74 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro bench-perf",
         description="Engine hot-path microbenchmark with regression check.",
     )
-    parser.add_argument("--output", default=DEFAULT_OUTPUT,
-                        help="where to write the results JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="CI smoke mode: scaled-down inputs "
+                        f"(scale {SMOKE_SCALE}) compared against "
+                        f"{SMOKE_BASELINE} at a {SMOKE_THRESHOLD:.0%} "
+                        "threshold; exits non-zero on regression")
+    parser.add_argument("--output", default=None,
+                        help="where to write the results JSON (default: "
+                        f"{DEFAULT_OUTPUT}, or {SMOKE_OUTPUT} with --check)")
     parser.add_argument("--baseline", default=None,
                         help="baseline JSON to compare against (default: "
                         f"{DEFAULT_BASELINE}, else the previous output)")
-    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
-                        help="tolerated fractional chunks/s drop (0.2 = 20%%)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="tolerated fractional chunks/s drop (default: "
+                        f"{DEFAULT_THRESHOLD}, or {SMOKE_THRESHOLD} with "
+                        "--check)")
     parser.add_argument("--preset", default="magny_cours",
                         choices=sorted(presets.PRESETS))
     parser.add_argument("--threads", type=int, default=48)
     parser.add_argument("--mechanism", default="IBS")
     parser.add_argument("--period", type=int, default=4096)
-    parser.add_argument("--scale", type=float, default=1.0,
-                        help="workload-size multiplier (0.1 = 10%% inputs)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload-size multiplier (0.1 = 10%% inputs; "
+                        f"default: 1.0, or {SMOKE_SCALE} with --check)")
     return parser
 
 
-def _load_baseline(args) -> tuple[dict | None, str | None]:
+def _config_matches(doc: dict, config: dict) -> bool:
+    """Whether a baseline was recorded with the requested configuration."""
+    return all(doc.get(key) == config[key] for key in CONFIG_KEYS)
+
+
+def _load_baseline(args, config: dict) -> tuple[dict | None, str | None]:
+    default = SMOKE_BASELINE if args.check else DEFAULT_BASELINE
     candidates = [args.baseline] if args.baseline else [
-        DEFAULT_BASELINE, args.output,
+        default, args.output,
     ]
     for cand in candidates:
         if cand and Path(cand).is_file():
             with open(cand) as fh:
                 doc = json.load(fh)
-            if doc.get("schema") == SCHEMA:
-                return doc, cand
+            if doc.get("schema") != SCHEMA:
+                continue
+            if not _config_matches(doc, config):
+                print(f"ignoring baseline {cand}: recorded with a different "
+                      "configuration ("
+                      + ", ".join(f"{k}={doc.get(k)!r}" for k in CONFIG_KEYS)
+                      + ")")
+                continue
+            return doc, cand
     return None, None
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    baseline, baseline_path = _load_baseline(args)
+    if args.output is None:
+        args.output = SMOKE_OUTPUT if args.check else DEFAULT_OUTPUT
+    if args.scale is None:
+        args.scale = SMOKE_SCALE if args.check else 1.0
+    if args.threshold is None:
+        args.threshold = SMOKE_THRESHOLD if args.check else DEFAULT_THRESHOLD
+    config = {
+        "preset": args.preset,
+        "threads": args.threads,
+        "mechanism": args.mechanism,
+        "period": args.period,
+        "scale": args.scale,
+    }
+    baseline, baseline_path = _load_baseline(args, config)
 
     doc = run_perf(
         preset=args.preset,

@@ -1,0 +1,74 @@
+"""Flat numpy accumulators backing the deferred (batched) profiler path.
+
+The per-chunk profiler pays a dict-of-dicts price per observation: CCT
+node lookups, string-keyed ``defaultdict`` updates for a dozen metrics,
+and per-bin dict churn. The deferred pipeline instead accumulates into
+flat float64 tables keyed by interned row ids — one row per
+``(tid, call path)`` / ``(tid, variable)`` / ``(tid, variable, path)``
+key, one column per metric — and flushes them into the classic
+CCT/record structures once, at ``on_run_end``. Row interning is a plain
+dict lookup; the metric arithmetic is one vector add per observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RowTable:
+    """A growable ``(rows, n_cols)`` float64 accumulator.
+
+    Rows are handed out by :meth:`alloc` and never freed; callers index
+    ``data`` directly (re-reading ``data`` after any ``alloc``, which may
+    reallocate it).
+    """
+
+    __slots__ = ("data", "n_rows")
+
+    def __init__(self, n_cols: int, capacity: int = 256) -> None:
+        self.data = np.zeros((capacity, n_cols), dtype=np.float64)
+        self.n_rows = 0
+
+    def alloc(self, n: int = 1) -> int:
+        """Reserve ``n`` consecutive zeroed rows; returns the first index."""
+        need = self.n_rows + n
+        cap = self.data.shape[0]
+        if need > cap:
+            grown = np.zeros(
+                (max(need, cap * 2), self.data.shape[1]), dtype=np.float64
+            )
+            grown[: self.n_rows] = self.data[: self.n_rows]
+            self.data = grown
+        first = self.n_rows
+        self.n_rows = need
+        return first
+
+
+class MinMaxTable:
+    """Growable ``(rows, 2)`` [min, max] accumulator for address ranges.
+
+    Fresh rows start at ``[+inf, -inf]`` — the same sentinel
+    :class:`~repro.profiler.profile_data.VarRecord` range arrays use —
+    and tighten as samples arrive via ``np.minimum.at`` /
+    ``np.maximum.at`` on the two columns.
+    """
+
+    __slots__ = ("data", "n_rows")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.data = np.empty((capacity, 2), dtype=np.float64)
+        self.n_rows = 0
+
+    def alloc(self, n: int) -> int:
+        """Reserve ``n`` consecutive ``[+inf, -inf]`` rows."""
+        need = self.n_rows + n
+        cap = self.data.shape[0]
+        if need > cap:
+            grown = np.empty((max(need, cap * 2), 2), dtype=np.float64)
+            grown[: self.n_rows] = self.data[: self.n_rows]
+            self.data = grown
+        self.data[self.n_rows : need, 0] = np.inf
+        self.data[self.n_rows : need, 1] = -np.inf
+        first = self.n_rows
+        self.n_rows = need
+        return first

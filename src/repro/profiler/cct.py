@@ -94,6 +94,21 @@ class CCT:
                 node.inc(name, value)
         return node
 
+    def attribute_row(
+        self, path: CallPath, names: list[str], values
+    ) -> CCTNode:
+        """Accumulate a flat metric row (parallel ``names``/``values``).
+
+        The deferred profiler's flush path: values come straight out of a
+        numpy accumulator row, zeros are skipped exactly like
+        :meth:`attribute` so node metric dicts stay sparse.
+        """
+        node = self.node_for(path)
+        for name, value in zip(names, values.tolist()):
+            if value:
+                node.inc(name, value)
+        return node
+
     def n_nodes(self) -> int:
         """Total node count (profile-footprint accounting)."""
         return sum(1 for _ in self.root.walk())

@@ -28,6 +28,13 @@ from typing import Mapping
 from repro.sampling.base import MechanismCapabilities
 
 
+#: Interned ``NUMA_NODE<k>`` metric names. The profiler asks for these
+#: per chunk per domain on its hot path; building the f-string each time
+#: was measurable, so the table grows once per new domain index and every
+#: later call is a list index.
+_NUMA_NODE_NAMES: list[str] = []
+
+
 class MetricNames:
     """String constants for raw metric names."""
 
@@ -43,7 +50,12 @@ class MetricNames:
     @staticmethod
     def numa_node(domain: int) -> str:
         """Per-domain request-count metric name (``NUMA_NODE0`` ...)."""
-        return f"NUMA_NODE{domain}"
+        try:
+            return _NUMA_NODE_NAMES[domain]
+        except IndexError:
+            while len(_NUMA_NODE_NAMES) <= domain:
+                _NUMA_NODE_NAMES.append(f"NUMA_NODE{len(_NUMA_NODE_NAMES)}")
+            return _NUMA_NODE_NAMES[domain]
 
 
 #: The paper's rule of thumb (Section 4.2): lpi_NUMA above 0.1 cycles per

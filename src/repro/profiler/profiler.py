@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.errors import ProfileError
 from repro.machine.cache import LEVEL_DRAM
+from repro.profiler.accum import MinMaxTable, RowTable
 from repro.profiler.cct import DUMMY_ACCESS, DUMMY_FIRST_TOUCH
 from repro.profiler.datacentric import VariableRegistry
 from repro.profiler.metrics import MetricNames
@@ -56,6 +57,15 @@ class NumaProfiler(Monitor):
         Which variable kinds get first-touch page protection. The paper
         implements heap protection and lists static (at load time) and
         stack support as future work; all three are available here.
+    deferred:
+        When true (the default), :meth:`on_step` runs the batched
+        pipeline: one ``select_step`` per step, metrics accumulated into
+        flat numpy tables keyed by interned ``(tid, path, var)`` rows,
+        flushed into the CCT/record structures once at
+        :meth:`on_run_end`. Profiles are therefore only readable after
+        the run ends. ``deferred=False`` keeps the historical per-chunk
+        immediate-attribution path; the two produce identical archives
+        (see ``tests/test_profiler_batched.py``).
     """
 
     #: Trap-handler cost per faulting page (attribution + re-mprotect),
@@ -71,12 +81,14 @@ class NumaProfiler(Monitor):
         protect_heap: bool = True,
         protect_static: bool = False,
         protect_stack: bool = False,
+        deferred: bool = True,
     ) -> None:
         self.mechanism = mechanism
         self.n_bins = n_bins
         self.protect_heap = protect_heap
         self.protect_static = protect_static
         self.protect_stack = protect_stack
+        self.deferred = deferred
         self.registry = VariableRegistry()
         self.archive: ProfileArchive | None = None
         self._engine: ExecutionEngine | None = None
@@ -101,6 +113,53 @@ class NumaProfiler(Monitor):
             self.archive.profiles[t.tid] = ThreadProfile(
                 tid=t.tid, cpu=t.cpu, domain=t.domain
             )
+        if self.deferred:
+            self._init_accumulators(machine, engine)
+
+    def _init_accumulators(self, machine, engine: ExecutionEngine) -> None:
+        """Set up the flat deferred-attribution tables for one run.
+
+        Metric column layout (fixed per run): 0 INSTR, 1 SAMPLED_INSTR,
+        2 SAMPLES, 3 NUMA_MATCH, 4 NUMA_MISMATCH, 5 LAT_TOTAL,
+        6 LAT_REMOTE, 7 EVENTS_NUMA, then one ``NUMA_NODE<d>`` column per
+        domain.
+        """
+        n_domains = machine.n_domains
+        self._n_cols = 8 + n_domains
+        self._metric_names = [
+            MetricNames.INSTR,
+            MetricNames.SAMPLED_INSTR,
+            MetricNames.SAMPLES,
+            MetricNames.NUMA_MATCH,
+            MetricNames.NUMA_MISMATCH,
+            MetricNames.LAT_TOTAL,
+            MetricNames.LAT_REMOTE,
+            MetricNames.EVENTS_NUMA,
+        ] + [MetricNames.numa_node(d) for d in range(n_domains)]
+        #: (tid, path) -> row in the code-centric metric table.
+        self._code_rows: dict = {}
+        self._code_tab = RowTable(self._n_cols)
+        #: (tid, var name, path) -> row in the data-centric metric table.
+        self._data_rows: dict = {}
+        self._data_tab = RowTable(self._n_cols)
+        #: (tid, var name) -> row in the per-variable metric table.
+        self._var_rows: dict = {}
+        self._var_tab = RowTable(self._n_cols)
+        #: Aligned with var rows: the VarRecord and its bin-block base.
+        self._var_recs: list = []
+        self._bin_bases: list[int] = []
+        #: Per-bin metric blocks: SAMPLES, MATCH, MISMATCH, LAT_TOTAL,
+        #: LAT_REMOTE.
+        self._bin_tab = RowTable(5)
+        #: (tid, var name, path) -> base row of an (n_bins + 1)-row
+        #: [min, max] block (row 0 whole variable, rows 1.. the bins).
+        self._range_rows: dict = {}
+        self._mm = MinMaxTable()
+        max_tid = max(t.tid for t in engine.threads)
+        self._ctr = np.zeros((max_tid + 1, 5), dtype=np.float64)
+        self._ctr_seen = np.zeros(max_tid + 1, dtype=bool)
+        self._lat_seen = False
+        self._flushed = False
 
     def on_alloc(self, var: Variable) -> None:
         """Track the variable and protect its pages for first touch."""
@@ -169,9 +228,187 @@ class NumaProfiler(Monitor):
         )
         return self._observe(view)
 
-    def on_step(self, views: list[ChunkView]) -> list[float]:
-        """Batched observation: one engine call per step, masks shared."""
-        return [self._observe(v) for v in views]
+    def on_step(self, views: list[ChunkView]):
+        """Batched observation: one mechanism ``select_step`` per step,
+        metrics into flat accumulator rows, costs as one step-wide array.
+
+        Falls back to the per-chunk immediate path when ``deferred`` is
+        off (the golden reference for the parity tests).
+        """
+        if not self.deferred:
+            return [self._observe(v) for v in views]
+        step = self.mechanism.select_step(views)
+        caps = self.mechanism.capabilities
+        counting = caps.counts_absolute_events
+        lat_ok = caps.measures_latency and step.latency_captured
+        if lat_ok:
+            self._lat_seen = True
+        n_cols = self._n_cols
+        nsi = step.n_sampled_instructions
+        nev = step.n_events_total
+        counts = step.counts
+        starts = step.starts
+        indices = step.indices
+        code_rows = self._code_rows
+        ctab = self._code_tab
+        ctr = self._ctr
+        ctr_seen = self._ctr_seen
+        crows: list[int] = []
+        sampled: list[tuple] = []
+
+        for k, v in enumerate(views):
+            chunk = v.chunk
+            tid = v.tid
+            n_ins = chunk.n_instructions
+            n_acc = chunk.n_accesses
+            n_s = int(counts[k])
+            c = ctr[tid]
+            c[0] += n_ins
+            c[1] += n_acc
+            c[2] += n_s
+            c[3] += nsi[k]
+            c[4] += nev[k]
+            ctr_seen[tid] = True
+
+            remote_events = 0
+            if counting and n_acc:
+                remote_events = v.remote_event_count()
+
+            key = (tid, v.path)
+            crow = code_rows.get(key)
+            if crow is None:
+                crow = code_rows[key] = ctab.alloc()
+
+            if n_s == 0:
+                row = ctab.data[crow]
+                row[0] += n_ins
+                row[1] += nsi[k]
+                row[7] += remote_events
+                continue
+
+            idx = indices[starts[k]:starts[k + 1]]
+            s_targets, remote, s_lat = v.gather_samples(idx, want_lat=lat_ok)
+            n_rem = int(np.count_nonzero(remote))
+            m = np.zeros(n_cols, dtype=np.float64)
+            m[0] = n_ins
+            m[1] = nsi[k]
+            m[2] = n_s
+            m[3] = n_s - n_rem
+            m[4] = n_rem
+            m[7] = remote_events
+            m[8:] = np.bincount(s_targets, minlength=n_cols - 8)
+            if lat_ok:
+                m[5] = s_lat.sum()
+                m[6] = s_lat[remote].sum()
+            crows.append(crow)
+            sampled.append((v, chunk.addrs[idx], remote, s_lat, m))
+
+        if sampled:
+            self._record_step_samples(sampled, crows, lat_ok)
+        return self.mechanism.cost_cycles_step(step, views)
+
+    def _record_step_samples(
+        self, sampled: list[tuple], crows: list[int], lat_ok: bool
+    ) -> None:
+        """Deferred accumulation, vectorized across one step's sampled chunks.
+
+        The per-chunk pass below is limited to row interning and variable
+        resolution; all per-sample arithmetic (metric-row adds, bin
+        histograms, address ranges) then runs once on the
+        step-concatenated arrays. Every chunk in a step belongs to a
+        distinct thread, so no accumulator row receives samples from two
+        chunks of the same step and each row's accumulation order — and
+        hence its float value — is identical to per-chunk accumulation.
+        """
+        var_rows = self._var_rows
+        data_rows = self._data_rows
+        range_rows = self._range_rows
+        vrows: list[int] = []
+        drows: list[int] = []
+        bases: list[int] = []
+        sizes: list[int] = []
+        nbins: list[int] = []
+        bin_bases: list[int] = []
+        rng_bases: list[int] = []
+        for v, s_addrs, remote, s_lat, m in sampled:
+            var = self.registry.resolve_addrs(s_addrs)
+            chunk_var = v.chunk.var
+            if chunk_var is not None and var.name != chunk_var.name:
+                raise ProfileError(
+                    f"data-centric resolution found {var.name!r} but ground "
+                    f"truth is {chunk_var.name!r}"
+                )
+            tid = v.tid
+            vkey = (tid, var.name)
+            vrow = var_rows.get(vkey)
+            if vrow is None:
+                profile = self._profile(tid)
+                rec = profile.var_record(var, n_bins=self.n_bins)
+                vrow = var_rows[vkey] = self._var_tab.alloc()
+                self._var_recs.append(rec)
+                self._bin_bases.append(self._bin_tab.alloc(rec.n_bins))
+            else:
+                rec = self._var_recs[vrow]
+            dkey = (tid, var.name, v.path)
+            drow = data_rows.get(dkey)
+            if drow is None:
+                drow = data_rows[dkey] = self._data_tab.alloc()
+            rbase = range_rows.get(dkey)
+            if rbase is None:
+                rbase = range_rows[dkey] = self._mm.alloc(rec.n_bins + 1)
+            vrows.append(vrow)
+            drows.append(drow)
+            bases.append(rec.base)
+            sizes.append(max(rec.nbytes, 1))
+            nbins.append(rec.n_bins)
+            bin_bases.append(self._bin_bases[vrow])
+            rng_bases.append(rbase)
+
+        # All rows are interned: table buffers are stable from here on.
+        M = np.stack([s[4] for s in sampled])
+        np.add.at(self._code_tab.data, np.asarray(crows), M)
+        np.add.at(self._var_tab.data, np.asarray(vrows), M)
+        np.add.at(self._data_tab.data, np.asarray(drows), M)
+
+        cs = np.array([len(s[1]) for s in sampled])
+        addrs = np.concatenate([s[1] for s in sampled])
+        remote = np.concatenate([s[2] for s in sampled])
+
+        # Per-sample bin index, then the row in the flat bin table:
+        # same floor-divide formula as addresscentric.bin_indices, with
+        # the per-chunk variable geometry repeated onto the samples.
+        nb = np.repeat(np.asarray(nbins, dtype=np.int64), cs)
+        rel = addrs - np.repeat(np.asarray(bases, dtype=np.int64), cs)
+        bins = np.clip(
+            (rel * nb) // np.repeat(np.asarray(sizes, dtype=np.int64), cs),
+            0, nb - 1,
+        )
+        rows = np.repeat(np.asarray(bin_bases, dtype=np.int64), cs) + bins
+        n_rows = self._bin_tab.n_rows
+        btab = self._bin_tab.data
+        cnt = np.bincount(rows, minlength=n_rows)
+        mis = np.bincount(rows[remote], minlength=n_rows)
+        btab[:n_rows, 0] += cnt
+        btab[:n_rows, 1] += cnt - mis
+        btab[:n_rows, 2] += mis
+        if lat_ok:
+            lat = np.concatenate([s[3] for s in sampled])
+            btab[:n_rows, 3] += np.bincount(
+                rows, weights=lat, minlength=n_rows
+            )
+            btab[:n_rows, 4] += np.bincount(
+                rows[remote], weights=lat[remote], minlength=n_rows
+            )
+
+        # Address ranges: row 0 of each block tracks the whole variable,
+        # rows 1.. its bins — cover both with one scatter each.
+        a64 = addrs.astype(np.float64)
+        whole = np.repeat(np.asarray(rng_bases, dtype=np.int64), cs)
+        rng_rows = np.concatenate([whole, whole + 1 + bins])
+        vals = np.concatenate([a64, a64])
+        mm = self._mm.data
+        np.minimum.at(mm[:, 0], rng_rows, vals)
+        np.maximum.at(mm[:, 1], rng_rows, vals)
 
     def _observe(self, view: ChunkView) -> float:
         """Sample one chunk and attribute code-, data-, address-centric."""
@@ -232,9 +469,65 @@ class NumaProfiler(Monitor):
         return self.mechanism.cost_cycles(batch, chunk)
 
     def on_run_end(self, result: RunResult) -> None:
-        """Attach the run's timing result to the archive."""
+        """Flush deferred accumulators and attach the run's timing result.
+
+        In deferred mode this is the moment the archive becomes readable:
+        every flat accumulator row is folded into the classic
+        CCT/VarRecord/bin structures here, exactly once.
+        """
         if self.archive is not None:
             self.archive.run_result = result
+        if self.deferred and self.archive is not None and not self._flushed:
+            self._flush()
+            self._flushed = True
+
+    def _flush(self) -> None:
+        """Fold the flat accumulator tables into the profile structures."""
+        names = self._metric_names
+        for (tid, path), row in self._code_rows.items():
+            self._profile(tid).cct.attribute_row(
+                path, names, self._code_tab.data[row]
+            )
+        var_rows = self._var_rows
+        for (tid, var_name, path), row in self._data_rows.items():
+            rec = self._var_recs[var_rows[(tid, var_name)]]
+            mixed = rec.alloc_path + (DUMMY_ACCESS,) + path
+            self._profile(tid).data_cct.attribute_row(
+                mixed, names, self._data_tab.data[row]
+            )
+        lat = self._lat_seen
+        for vrow in var_rows.values():
+            rec = self._var_recs[vrow]
+            for name, value in zip(names, self._var_tab.data[vrow].tolist()):
+                if value:
+                    rec.metrics[name] += value
+            base = self._bin_bases[vrow]
+            block = self._bin_tab.data[base:base + rec.n_bins]
+            for b in np.nonzero(block[:, 0])[0]:
+                bin_metrics = rec.bins[int(b)].metrics
+                bin_metrics[MetricNames.SAMPLES] += float(block[b, 0])
+                bin_metrics[MetricNames.NUMA_MATCH] += float(block[b, 1])
+                bin_metrics[MetricNames.NUMA_MISMATCH] += float(block[b, 2])
+                if lat:
+                    bin_metrics[MetricNames.LAT_TOTAL] += float(block[b, 3])
+                    bin_metrics[MetricNames.LAT_REMOTE] += float(block[b, 4])
+        for (tid, var_name, path), base in self._range_rows.items():
+            rec = self._var_recs[var_rows[(tid, var_name)]]
+            arr = self._mm.data[base:base + rec.n_bins + 1].copy()
+            existing = rec.ranges.get(path)
+            if existing is None:
+                rec.ranges[path] = arr
+            else:
+                np.minimum(existing[:, 0], arr[:, 0], out=existing[:, 0])
+                np.maximum(existing[:, 1], arr[:, 1], out=existing[:, 1])
+        for tid in np.nonzero(self._ctr_seen)[0]:
+            counters = self.archive.profiles[int(tid)].counters
+            vals = self._ctr[tid].tolist()
+            counters["instructions"] += vals[0]
+            counters["accesses"] += vals[1]
+            counters["samples"] += vals[2]
+            counters["sampled_instructions"] += vals[3]
+            counters["events"] += vals[4]
 
     # ------------------------------------------------------------------ #
 
@@ -267,8 +560,12 @@ class NumaProfiler(Monitor):
                 f"is {chunk.var.name!r}"
             )
         rec = profile.var_record(var, n_bins=self.n_bins)
+        # Skip zero values like CCT.attribute does: rec.metrics is a
+        # defaultdict, so key presence is unobservable to readers, and
+        # staying sparse keeps the deferred flush path's output identical.
         for name, value in metrics.items():
-            rec.metrics[name] += value
+            if value:
+                rec.metrics[name] += value
         bins = rec.record_samples(path, s_addrs)
         self._attribute_bins(rec, bins, remote, s_lat)
         # Augmented CCT: variable costs under allocation path + dummy +

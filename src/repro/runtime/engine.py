@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ProgramError
-from repro.machine.cache import LEVEL_DRAM
+from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, LEVEL_L2
 from repro.machine.machine import Machine
 from repro.machine.pagetable import PlacementPolicy
 from repro.units import fast_unique
@@ -47,12 +47,14 @@ class ChunkView:
     """One chunk's share of a step's memory products (see ``Monitor.on_step``).
 
     The engine computes the step's classification, placement, and latency
-    — on concatenated arrays for small-chunk steps, per chunk otherwise —
-    and each view exposes one chunk's slice of those products plus the
-    per-access masks every monitor used to recompute: ``dram_mask``
-    (service level is DRAM) and ``remote_mask`` (page owner differs from
-    the accessing thread's domain). Arrays may be views into shared step
-    buffers — monitors must not mutate them.
+    on concatenated arrays for small-chunk steps, and each view exposes
+    one chunk's slice of those products plus the per-access masks every
+    monitor used to recompute: ``dram_mask`` (service level is DRAM) and
+    ``remote_mask`` (page owner differs from the accessing thread's
+    domain). Large-chunk steps deliver :class:`LazyChunkView` instead,
+    which exposes the same attributes but materializes them on demand.
+    Arrays may be views into shared step buffers — monitors must not
+    mutate them.
     """
 
     tid: int
@@ -65,6 +67,177 @@ class ChunkView:
     path: CallPath
     dram_mask: np.ndarray
     remote_mask: np.ndarray
+
+    def remote_event_count(self) -> int:
+        """Remote DRAM accesses in this chunk (absolute event counters)."""
+        return int(np.count_nonzero(self.dram_mask & self.remote_mask))
+
+    def gather_samples(self, idx: np.ndarray, *, want_lat: bool = True):
+        """Per-access products at sampled indices only.
+
+        Returns ``(target_domains, remote, latencies)`` gathered at
+        ``idx`` (sorted chunk-local positions); ``latencies`` is ``None``
+        when ``want_lat`` is false. Sampling monitors go through this
+        instead of indexing the full arrays so lazy views
+        (:class:`LazyChunkView`) can serve samples without materializing
+        whole-chunk products.
+        """
+        targets = self.target_domains[idx]
+        remote = self.remote_mask[idx]
+        lat = self.latencies[idx] if want_lat else None
+        return targets, remote, lat
+
+
+class LazyChunkView:
+    """A :class:`ChunkView` that materializes per-access arrays on demand.
+
+    The monitored large-chunk path computes only each chunk's
+    classification summary (line-fetch mask + single fetch level) plus —
+    for DRAM-level chunks — the fetch subset's page owners and latencies,
+    which the engine needed for timing/traffic accounting anyway. Full
+    per-access ``levels`` / ``target_domains`` / ``latencies`` / masks
+    are reconstructed lazily on first attribute access, with values
+    identical to the eager pipeline: every non-fetch access hits L1, all
+    fetches are serviced at the summary's fetch level, and
+    ``dram_fetch_latencies`` produces exactly the DRAM entries
+    ``access_latency`` would. Sampling monitors that only need values at
+    sampled indices call :meth:`gather_samples` /
+    :meth:`remote_event_count` and never pay full materialization.
+    """
+
+    __slots__ = (
+        "tid", "cpu", "domain", "chunk", "path",
+        "_summ", "_machine", "_fetch_idx", "_fetch_targets", "_fetch_lat",
+        "_levels", "_targets", "_lat", "_dram", "_remote",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        cpu: int,
+        domain: int,
+        chunk: AccessChunk,
+        path: CallPath,
+        summ,
+        machine: Machine,
+        fetch_idx: np.ndarray | None,
+        fetch_targets: np.ndarray | None,
+        fetch_lat: np.ndarray | None,
+    ) -> None:
+        self.tid = tid
+        self.cpu = cpu
+        self.domain = domain
+        self.chunk = chunk
+        self.path = path
+        self._summ = summ
+        self._machine = machine
+        self._fetch_idx = fetch_idx
+        self._fetch_targets = fetch_targets
+        self._fetch_lat = fetch_lat
+        self._levels = None
+        self._targets = None
+        self._lat = None
+        self._dram = None
+        self._remote = None
+
+    @property
+    def levels(self) -> np.ndarray:
+        lv = self._levels
+        if lv is None:
+            summ = self._summ
+            lv = np.full(self.chunk.n_accesses, LEVEL_L1, dtype=np.uint8)
+            lv[summ.fetch] = summ.fetch_level
+            self._levels = lv
+        return lv
+
+    @property
+    def target_domains(self) -> np.ndarray:
+        tg = self._targets
+        if tg is None:
+            chunk = self.chunk
+            seg = chunk.var.segment
+            pages = chunk.addrs // self._machine.page_size
+            tg = seg.domains[pages - seg.start_page]
+            self._targets = tg
+        return tg
+
+    @property
+    def latencies(self) -> np.ndarray:
+        lat = self._lat
+        if lat is None:
+            summ = self._summ
+            lm = self._machine.latency_model
+            lat = np.full(self.chunk.n_accesses, lm.l1, dtype=np.float64)
+            if summ.fetch_level == LEVEL_DRAM:
+                lat[summ.fetch] = self._fetch_lat
+            elif summ.fetch_level != LEVEL_L1:
+                lat[summ.fetch] = (
+                    lm.l2 if summ.fetch_level == LEVEL_L2 else lm.l3
+                )
+            self._lat = lat
+        return lat
+
+    @property
+    def dram_mask(self) -> np.ndarray:
+        dm = self._dram
+        if dm is None:
+            summ = self._summ
+            if summ.fetch_level == LEVEL_DRAM:
+                dm = summ.fetch
+            else:
+                dm = np.zeros(self.chunk.n_accesses, dtype=bool)
+            self._dram = dm
+        return dm
+
+    @property
+    def remote_mask(self) -> np.ndarray:
+        rm = self._remote
+        if rm is None:
+            rm = self.target_domains != self.domain
+            self._remote = rm
+        return rm
+
+    def remote_event_count(self) -> int:
+        """Remote DRAM accesses, from the fetch subset (no materialization)."""
+        if self._fetch_targets is None:
+            return 0
+        return int(np.count_nonzero(self._fetch_targets != self.domain))
+
+    def gather_samples(self, idx: np.ndarray, *, want_lat: bool = True):
+        """Gather ``(targets, remote, latencies)`` at sampled indices.
+
+        Targets come from a direct page-owner lookup on the sampled
+        addresses; latencies from the fetch mask (non-fetches are L1, a
+        sampled fetch's DRAM latency is found by its ordinal among the
+        chunk's fetches via ``searchsorted``). Values are identical to
+        indexing the materialized arrays.
+        """
+        chunk = self.chunk
+        if self._targets is not None:
+            targets = self._targets[idx]
+        else:
+            seg = chunk.var.segment
+            pages = chunk.addrs[idx] // self._machine.page_size
+            targets = seg.domains[pages - seg.start_page]
+        remote = targets != self.domain
+        lat = None
+        if want_lat:
+            if self._lat is not None:
+                lat = self._lat[idx]
+            else:
+                summ = self._summ
+                lm = self._machine.latency_model
+                lat = np.full(idx.size, lm.l1, dtype=np.float64)
+                f = summ.fetch[idx]
+                if np.any(f):
+                    if summ.fetch_level == LEVEL_DRAM:
+                        pos = np.searchsorted(self._fetch_idx, idx[f])
+                        lat[f] = self._fetch_lat[pos]
+                    else:
+                        lat[f] = (
+                            lm.l2 if summ.fetch_level == LEVEL_L2 else lm.l3
+                        )
+        return targets, remote, lat
 
 
 class Monitor:
@@ -112,12 +285,15 @@ class Monitor:
     def on_step(self, views: list[ChunkView]) -> list[float]:
         """Observe one execution step; returns per-chunk costs in cycles.
 
-        The engine calls this once per step with one :class:`ChunkView`
-        per executed chunk, in step order. The default implementation
-        preserves the historical per-chunk contract by dispatching each
-        view to :meth:`on_chunk`; batch-aware monitors override it and
-        consume the precomputed per-step products (``dram_mask``,
-        ``remote_mask``) directly.
+        The engine calls this once per step with one view per executed
+        chunk, in step order — a :class:`ChunkView` with eager arrays for
+        small-chunk (batched) steps, a :class:`LazyChunkView` for
+        large-chunk steps. The default implementation preserves the
+        historical per-chunk contract by dispatching each view to
+        :meth:`on_chunk`, which materializes lazy views; batch-aware
+        monitors override it and consume samples through
+        ``gather_samples`` / ``remote_event_count`` so lazy views never
+        materialize whole-chunk arrays.
         """
         return [
             self.on_chunk(
@@ -325,10 +501,12 @@ class ExecutionEngine:
         (classification, placement lookup, latency, DRAM/traffic
         accounting) then runs once on the step's concatenated arrays when
         chunks are small (mean accesses/chunk <= ``BATCH_MEAN_ACCESSES``),
-        amortizing per-chunk dispatch overhead; steps of large chunks keep
-        the per-chunk vectorized path, whose arrays stay cache-resident
-        instead of streaming multi-megabyte concatenations through DRAM.
-        Both paths compute identical results.
+        amortizing per-chunk dispatch overhead; steps of large chunks use
+        the classification *summary* (fetch mask + single fetch level),
+        touching per-access data only on the fetch subset, with monitors
+        served by :class:`LazyChunkView` so full per-access arrays are
+        reconstructed only if a monitor actually reads them. Both paths
+        compute identical per-access values.
         """
         machine = self.machine
         page_size = machine.page_size
@@ -390,14 +568,16 @@ class ExecutionEngine:
                 step_requests = np.bincount(
                     targets_cat[dram_cat], minlength=n_domains
                 ).astype(np.int64)
-            elif self.monitor is None:
-                # Monitor-less summary path: nobody consumes per-access
-                # levels/targets/latencies, so classify down to the
+            else:
+                # Large-chunk summary path: classify down to the
                 # line-fetch mask and touch per-access data only on the
                 # fetch subset (every non-fetch access hits L1, and only
                 # DRAM-level fetches have NUMA-relevant placement).
+                # Monitors see these chunks through lazy views that
+                # reconstruct full per-access arrays on demand.
                 summaries = [None] * n_mem
                 dram_targets: list = [None] * n_mem
+                fetch_idx: list = [None] * n_mem
                 for k, (t, c) in enumerate(mem):
                     seg = c.var.segment
                     summ = machine.cache.classify_summary(
@@ -409,19 +589,9 @@ class ExecutionEngine:
                         tgt = seg.domains[
                             c.addrs[fidx] // page_size - seg.start_page
                         ]
+                        fetch_idx[k] = fidx
                         dram_targets[k] = tgt
                         step_requests += np.bincount(tgt, minlength=n_domains)
-            else:
-                for k, (t, c) in enumerate(mem):
-                    ccls, tgt = machine.classify_accesses(
-                        c.addrs, t.cpu, c.var.segment
-                    )
-                    chunk_levels[k] = ccls.levels
-                    chunk_targets[k] = tgt
-                    chunk_seq[k] = ccls.sequential
-                    step_requests += np.bincount(
-                        tgt[ccls.levels == LEVEL_DRAM], minlength=n_domains
-                    ).astype(np.int64)
 
         inflation = machine.contention.inflation(step_requests, n_active)
 
@@ -430,6 +600,8 @@ class ExecutionEngine:
         remote_dram = 0
         traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
         lat_sums = [0.0] * n_active
+        #: Batched path: per-chunk slices of the step's latency array.
+        #: Large-chunk path: DRAM fetch-latency subsets for lazy views.
         chunk_lat: list = [None] * n_mem
         chunk_dram: list = [None] * n_mem
         chunk_remote: list = [None] * n_mem
@@ -467,11 +639,12 @@ class ExecutionEngine:
                     chunk_lat[k] = lat_cat[s:e]
                     chunk_dram[k] = dram_cat[s:e]
                     chunk_remote[k] = remote_cat[s:e]
-        elif n_mem and self.monitor is None:
+        elif n_mem:
             latency_model = machine.latency_model
             topology = machine.topology
             l1 = latency_model.l1
             lvl_lat = (latency_model.l1, latency_model.l2, latency_model.l3)
+            keep_fetch_lat = self.monitor is not None
             for k, i in enumerate(mem_idx):
                 t, c = mem[k]
                 summ = summaries[k]
@@ -496,31 +669,8 @@ class ExecutionEngine:
                     dram += nf
                     remote_dram += int(np.count_nonzero(tgt != t.domain))
                     traffic[t.domain] += np.bincount(tgt, minlength=n_domains)
-        elif n_mem:
-            latency_model = machine.latency_model
-            topology = machine.topology
-            for k, i in enumerate(mem_idx):
-                t, _ = mem[k]
-                lat = latency_model.access_latency(
-                    chunk_levels[k],
-                    chunk_targets[k],
-                    t.domain,
-                    topology,
-                    inflation,
-                    sequential=chunk_seq[k],
-                    interleaved=interleaved[k],
-                )
-                dmask = chunk_levels[k] == LEVEL_DRAM
-                rmask = chunk_targets[k] != t.domain
-                dram += int(np.count_nonzero(dmask))
-                remote_dram += int(np.count_nonzero(dmask & rmask))
-                traffic[t.domain] += np.bincount(
-                    chunk_targets[k][dmask], minlength=n_domains
-                )
-                chunk_lat[k] = lat
-                chunk_dram[k] = dmask
-                chunk_remote[k] = rmask
-                lat_sums[i] = float(lat.sum())
+                    if keep_fetch_lat:
+                        chunk_lat[k] = fetch_lat
 
         # ---- monitors: one on_step call with per-chunk views ---- #
         costs: list[float] | None = None
@@ -535,11 +685,16 @@ class ExecutionEngine:
                         t.tid, t.cpu, t.domain, chunk, _EMPTY_U8, _EMPTY_I64,
                         _EMPTY_F64, path, _EMPTY_BOOL, _EMPTY_BOOL,
                     ))
-                else:
+                elif batched:
                     views.append(ChunkView(
                         t.tid, t.cpu, t.domain, chunk, chunk_levels[k],
                         chunk_targets[k], chunk_lat[k], path, chunk_dram[k],
                         chunk_remote[k],
+                    ))
+                else:
+                    views.append(LazyChunkView(
+                        t.tid, t.cpu, t.domain, chunk, path, summaries[k],
+                        machine, fetch_idx[k], dram_targets[k], chunk_lat[k],
                     ))
             costs = list(self.monitor.on_step(views))
             if len(costs) != n_active:

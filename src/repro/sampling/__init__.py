@@ -19,6 +19,7 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
 )
 from repro.sampling.ibs import IBS
 from repro.sampling.mrk import MRK
@@ -32,6 +33,7 @@ __all__ = [
     "MechanismCapabilities",
     "SampleBatch",
     "SamplingMechanism",
+    "StepSampleBatch",
     "IBS",
     "MRK",
     "PEBS",

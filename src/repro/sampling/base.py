@@ -43,6 +43,60 @@ class MechanismCapabilities:
 
 
 @dataclass
+class StepSampleBatch:
+    """Samples taken from every chunk of one execution step.
+
+    The step-wide twin of :class:`SampleBatch`: one ``select_step`` call
+    covers all chunks the engine ran in lockstep, so selection is a
+    handful of array operations per *step* instead of per *chunk*.
+    Per-chunk results are concatenated; ``counts``/``starts`` recover the
+    chunk boundaries, and :meth:`batch_for` materializes a classic
+    :class:`SampleBatch` for one chunk (compatibility/cost paths).
+
+    Attributes
+    ----------
+    indices:
+        Chunk-local sampled access indices, concatenated in step (view)
+        order.
+    counts / starts:
+        Samples per chunk and the prefix offsets of each chunk's slice of
+        ``indices`` (``starts`` has ``n_chunks + 1`` entries).
+    n_sampled_instructions / n_events_total:
+        Per-chunk arrays with the same meaning as on :class:`SampleBatch`.
+    latency_captured:
+        Whether latencies attached to these samples are valid (uniform
+        across a step — it is a mechanism property).
+    """
+
+    indices: np.ndarray
+    counts: np.ndarray
+    starts: np.ndarray
+    n_sampled_instructions: np.ndarray
+    n_events_total: np.ndarray
+    latency_captured: bool
+
+    @property
+    def n_samples(self) -> int:
+        """Total sampled memory accesses across the step."""
+        return int(self.indices.size)
+
+    def batch_for(self, k: int) -> "SampleBatch":
+        """The classic per-chunk :class:`SampleBatch` for chunk ``k``."""
+        return SampleBatch(
+            indices=self.indices[self.starts[k]:self.starts[k + 1]],
+            n_sampled_instructions=int(self.n_sampled_instructions[k]),
+            n_events_total=int(self.n_events_total[k]),
+            latency_captured=self.latency_captured,
+        )
+
+
+def _starts_from_counts(counts: np.ndarray) -> np.ndarray:
+    starts = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    return starts
+
+
+@dataclass
 class SampleBatch:
     """Samples taken from one chunk.
 
@@ -92,6 +146,60 @@ def periodic_positions(carry: int, n_events: int, period: int) -> tuple[np.ndarr
     positions = np.arange(first, n_events, period, dtype=np.int64)
     new_carry = n_events - 1 - int(positions[-1])
     return positions, new_carry
+
+
+def _dedupe_sorted(values: np.ndarray) -> np.ndarray:
+    """Drop adjacent duplicates from a sorted array.
+
+    Jittered sample positions are non-decreasing, but the clamp in
+    ``np.maximum(positions - jitter, 0)`` can land two samples on the
+    same slot near position 0, which would double-count one access.
+    """
+    if values.size < 2:
+        return values
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def periodic_positions_step(
+    carries: np.ndarray, n_events: np.ndarray, period: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`periodic_positions` over many (carry, events) pairs.
+
+    Computes, for every chunk of a step at once, exactly what sequential
+    per-chunk calls would: the selected event positions (concatenated in
+    chunk order), how many each chunk got, and each chunk's new carry.
+
+    Returns ``(positions_cat, rows, counts, new_carries)`` where ``rows``
+    maps each concatenated position back to its chunk index.
+    """
+    if period <= 0:
+        raise MechanismError(f"sampling period must be positive, got {period}")
+    n_events = np.asarray(n_events, dtype=np.int64)
+    carries = np.asarray(carries, dtype=np.int64)
+    first = period - 1 - carries
+    active = n_events > 0
+    selected = active & (first < n_events)
+    counts = np.zeros(n_events.shape, dtype=np.int64)
+    counts[selected] = (n_events[selected] - first[selected] - 1) // period + 1
+    new_carries = carries.copy()
+    skipped = active & ~selected
+    new_carries[skipped] = carries[skipped] + n_events[skipped]
+    new_carries[selected] = (
+        n_events[selected] - 1
+        - (first[selected] + (counts[selected] - 1) * period)
+    )
+    starts = _starts_from_counts(counts)
+    total = int(starts[-1])
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, counts, new_carries
+    rows = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    within = np.arange(total, dtype=np.int64) - starts[rows]
+    positions = first[rows] + within * period
+    return positions, rows, counts, new_carries
 
 
 class SamplingMechanism(abc.ABC):
@@ -167,6 +275,123 @@ class SamplingMechanism(abc.ABC):
     ) -> SampleBatch:
         """Choose samples from one executed chunk."""
 
+    def select_step(self, views) -> StepSampleBatch:
+        """Choose samples for every chunk of one execution step at once.
+
+        ``views`` is a sequence of per-chunk views (``ChunkView``-shaped:
+        ``tid``, ``chunk``, ``levels``, ``target_domains``, ``latencies``)
+        in step order; the engine guarantees each thread contributes at
+        most one chunk per step, so per-thread carries never collide
+        within a call. Results are exactly what sequential :meth:`select`
+        calls in view order would produce — batching is a pure
+        performance knob (see ``tests/test_sampling_step.py``).
+
+        The base implementation loops over :meth:`select`; mechanisms
+        override it with vectorized selection over step-concatenated
+        event counts.
+        """
+        batches = [
+            self.select(v.tid, v.chunk, v.levels, v.target_domains, v.latencies)
+            for v in views
+        ]
+        counts = np.array([b.n_samples for b in batches], dtype=np.int64)
+        return StepSampleBatch(
+            indices=(
+                np.concatenate([b.indices for b in batches])
+                if batches else np.empty(0, dtype=np.int64)
+            ),
+            counts=counts,
+            starts=_starts_from_counts(counts),
+            n_sampled_instructions=np.array(
+                [b.n_sampled_instructions for b in batches], dtype=np.int64
+            ),
+            n_events_total=np.array(
+                [b.n_events_total for b in batches], dtype=np.int64
+            ),
+            latency_captured=bool(batches and batches[0].latency_captured),
+        )
+
+    def cost_cycles_step(self, step: StepSampleBatch, views) -> np.ndarray:
+        """Per-chunk monitoring cost for a whole step (see cost_cycles).
+
+        Same arithmetic as per-chunk :meth:`cost_cycles`, evaluated on
+        step-wide arrays; subclasses that override :meth:`cost_cycles`
+        must override this too (and keep the two in exact agreement).
+        """
+        n_acc = np.fromiter(
+            (v.chunk.n_accesses for v in views), np.int64, len(views)
+        )
+        n_ins = np.fromiter(
+            (v.chunk.n_instructions for v in views), np.int64, len(views)
+        )
+        return (
+            step.n_sampled_instructions * self.per_sample_cycles
+            + n_acc * self.per_access_cycles
+            + n_ins * self.instr_tax_cycles
+        )
+
+    def _step_carries(self, tids) -> np.ndarray:
+        return np.fromiter(
+            (self._carry.get(t, 0) for t in tids), np.int64, len(tids)
+        )
+
+    def _store_step_carries(self, tids, new_carries: np.ndarray) -> None:
+        carry = self._carry
+        for t, c in zip(tids, new_carries.tolist()):
+            carry[t] = c
+
+    def _finish_step(self, step: StepSampleBatch) -> StepSampleBatch:
+        self.total_samples += step.n_samples
+        self.total_events += int(step.n_events_total.sum())
+        return step
+
+    def _empty_step(self, *, latency_captured: bool) -> StepSampleBatch:
+        zeros = np.empty(0, dtype=np.int64)
+        return StepSampleBatch(
+            indices=zeros,
+            counts=zeros.copy(),
+            starts=np.zeros(1, dtype=np.int64),
+            n_sampled_instructions=zeros.copy(),
+            n_events_total=zeros.copy(),
+            latency_captured=latency_captured,
+        )
+
+    def _select_step_from_event_mask(
+        self, views, event_mask: np.ndarray, lengths: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Shared batched selection for event-sampling mechanisms.
+
+        ``event_mask`` flags trigger events on the step's concatenated
+        per-access arrays (chunk boundaries given by ``lengths``). Applies
+        the per-thread periodic carry over each chunk's event subsequence
+        and maps selected events back to chunk-local access indices.
+
+        Returns ``(chosen_cat, counts, event_counts)`` — chunk-local
+        chosen indices concatenated in view order, samples per chunk, and
+        trigger events per chunk.
+        """
+        arr_starts = _starts_from_counts(lengths)
+        ev_global = np.nonzero(event_mask)[0]
+        csum = np.zeros(event_mask.size + 1, dtype=np.int64)
+        np.cumsum(event_mask, out=csum[1:])
+        ev_counts = csum[arr_starts[1:]] - csum[arr_starts[:-1]]
+        ev_offsets = _starts_from_counts(ev_counts)
+
+        tids = [v.tid for v in views]
+        carries = self._step_carries(tids)
+        positions, rows, counts, new_carries = periodic_positions_step(
+            carries, ev_counts, self.period
+        )
+        self._store_step_carries(tids, new_carries)
+
+        if positions.size:
+            chosen_cat = (
+                ev_global[ev_offsets[rows] + positions] - arr_starts[rows]
+            )
+        else:
+            chosen_cat = np.empty(0, dtype=np.int64)
+        return chosen_cat, counts, ev_counts
+
     def cost_cycles(self, batch: SampleBatch, chunk: AccessChunk) -> float:
         """Monitoring cost charged to the thread for this chunk.
 
@@ -212,17 +437,71 @@ class InstructionSamplingMixin:
             self._carry_of(tid), chunk.n_instructions, self.period
         )
         self._set_carry(tid, new_carry)
-        if positions.size == 0 or chunk.n_accesses == 0:
-            return np.empty(0, dtype=np.int64), int(positions.size)
+        n_positions = int(positions.size)
+        if n_positions == 0 or chunk.n_accesses == 0:
+            return np.empty(0, dtype=np.int64), n_positions
         # Randomize low bits of each sample position (as hardware does) so
         # the period never aliases with the chunk's access/instruction
         # interleave; carry accounting stays on the unjittered grid.
         jitter_width = self._jitter_width
         if jitter_width > 1:
-            jitter = self._rng.integers(0, jitter_width, size=positions.size)
+            jitter = self._rng.integers(0, jitter_width, size=n_positions)
             positions = np.maximum(positions - jitter, 0)
+            positions = _dedupe_sorted(positions)
         n_acc = chunk.n_accesses
         n_ins = chunk.n_instructions
         is_mem = (positions * n_acc) % n_ins < n_acc
         access_idx = positions[is_mem] * n_acc // n_ins
-        return access_idx.astype(np.int64), int(positions.size)
+        return access_idx.astype(np.int64), n_positions
+
+    def _instruction_samples_step(
+        self, views
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Step-wide :meth:`_instruction_samples` over every chunk at once.
+
+        One vectorized periodic selection over the step's instruction
+        counts, one RNG jitter draw for the whole step (the bounded
+        int64 draw consumes the PCG stream per element, so a single
+        step-sized call yields bit-identical jitter to per-chunk calls
+        in view order), and one Bresenham pass mapping instruction slots
+        to access indices.
+
+        Returns ``(access_idx_cat, counts, n_positions, n_acc, n_ins)``.
+        """
+        n = len(views)
+        n_ins = np.fromiter(
+            (v.chunk.n_instructions for v in views), np.int64, n
+        )
+        n_acc = np.fromiter((v.chunk.n_accesses for v in views), np.int64, n)
+        tids = [v.tid for v in views]
+        carries = self._step_carries(tids)
+        positions, rows, n_positions, new_carries = periodic_positions_step(
+            carries, n_ins, self.period
+        )
+        self._store_step_carries(tids, new_carries)
+
+        # Chunks with no accesses take instruction samples but emit no
+        # memory samples — and, like the scalar path, draw no jitter.
+        qualifies = (n_positions > 0) & (n_acc > 0)
+        keep_pos = qualifies[rows] if positions.size else np.empty(0, bool)
+        mem_pos = positions[keep_pos]
+        mem_rows = rows[keep_pos]
+        jitter_width = self._jitter_width
+        if jitter_width > 1 and mem_pos.size:
+            jitter = self._rng.integers(0, jitter_width, size=mem_pos.size)
+            mem_pos = np.maximum(mem_pos - jitter, 0)
+            dedup = np.empty(mem_pos.size, dtype=bool)
+            dedup[0] = True
+            np.logical_or(
+                mem_pos[1:] != mem_pos[:-1],
+                mem_rows[1:] != mem_rows[:-1],
+                out=dedup[1:],
+            )
+            mem_pos = mem_pos[dedup]
+            mem_rows = mem_rows[dedup]
+        na = n_acc[mem_rows]
+        ni = n_ins[mem_rows]
+        is_mem = (mem_pos * na) % ni < na
+        access_idx = (mem_pos[is_mem] * na[is_mem]) // ni[is_mem]
+        counts = np.bincount(mem_rows[is_mem], minlength=n).astype(np.int64)
+        return access_idx.astype(np.int64), counts, n_positions, n_acc, n_ins

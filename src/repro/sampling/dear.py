@@ -18,6 +18,8 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
     periodic_positions,
 )
 
@@ -62,6 +64,31 @@ class DEAR(SamplingMechanism):
                 indices=chosen.astype(np.int64),
                 n_sampled_instructions=int(chosen.size),
                 n_events_total=int(event_idx.size),
+                latency_captured=False,
+            )
+        )
+
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=False)
+        lev_cat = (
+            np.concatenate([v.levels for v in views])
+            if len(views) > 1
+            else views[0].levels
+        )
+        lengths = np.fromiter(
+            (v.levels.size for v in views), np.int64, len(views)
+        )
+        chosen, counts, ev_counts = self._select_step_from_event_mask(
+            views, lev_cat != LEVEL_L1, lengths
+        )
+        return self._finish_step(
+            StepSampleBatch(
+                indices=chosen,
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=counts.copy(),
+                n_events_total=ev_counts,
                 latency_captured=False,
             )
         )

@@ -19,6 +19,8 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
 )
 
 
@@ -57,6 +59,23 @@ class IBS(InstructionSamplingMixin, SamplingMechanism):
                 indices=access_idx,
                 n_sampled_instructions=n_instr_samples,
                 n_events_total=chunk.n_instructions,
+                latency_captured=True,
+            )
+        )
+
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=True)
+        access_idx, counts, n_positions, _, n_ins = (
+            self._instruction_samples_step(views)
+        )
+        return self._finish_step(
+            StepSampleBatch(
+                indices=access_idx,
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=n_positions,
+                n_events_total=n_ins,
                 latency_captured=True,
             )
         )

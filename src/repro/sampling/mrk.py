@@ -19,6 +19,8 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
     periodic_positions,
 )
 
@@ -82,38 +84,96 @@ class MRK(SamplingMechanism):
             self._carry_of(tid), int(event_idx.size), self.period
         )
         self._set_carry(tid, new_carry)
-        chosen = event_idx[positions]
-
-        # Hardware rate cap: at most max_rate samples per simulated second
-        # of execution, tracked as a fractional per-thread budget so the
-        # cap stays unbiased across chunk sizes.
-        cap_rate = self.max_rate
-        if cap_rate is not None and self.machine is not None and chosen.size:
-            chunk_cycles = (
-                chunk.n_instructions * self.machine.base_cpi + float(latencies.sum())
-            )
-            chunk_seconds = chunk_cycles / (self.machine.ghz * 1e9)
-            budget = self._budget.get(tid, 0.0) + chunk_seconds * cap_rate
-            # The hardware cannot bank unused allowance indefinitely:
-            # clamp the carried budget to a couple of chunks' worth so a
-            # long quiet phase does not license a later sampling burst.
-            budget = min(budget, 3.0 * max(chunk_seconds * cap_rate, 1.0))
-            max_samples = int(budget)
-            if chosen.size > max_samples:
-                if max_samples == 0:
-                    chosen = chosen[:0]
-                else:
-                    keep = np.linspace(0, chosen.size - 1, max_samples).astype(
-                        np.int64
-                    )
-                    chosen = chosen[keep]
-            self._budget[tid] = budget - chosen.size
+        chosen = self._apply_rate_cap(tid, event_idx[positions], chunk, latencies)
 
         return self._finish(
             SampleBatch(
                 indices=chosen.astype(np.int64),
                 n_sampled_instructions=int(chosen.size),
                 n_events_total=int(event_idx.size),
+                latency_captured=False,
+            )
+        )
+
+    def _apply_rate_cap(
+        self,
+        tid: int,
+        chosen: np.ndarray,
+        chunk: AccessChunk,
+        latencies: np.ndarray,
+    ) -> np.ndarray:
+        """Hardware rate cap: at most max_rate samples per simulated second
+        of execution, tracked as a fractional per-thread budget so the
+        cap stays unbiased across chunk sizes."""
+        cap_rate = self.max_rate
+        if cap_rate is None or self.machine is None or chosen.size == 0:
+            return chosen
+        chunk_cycles = (
+            chunk.n_instructions * self.machine.base_cpi + float(latencies.sum())
+        )
+        chunk_seconds = chunk_cycles / (self.machine.ghz * 1e9)
+        budget = self._budget.get(tid, 0.0) + chunk_seconds * cap_rate
+        # The hardware cannot bank unused allowance indefinitely:
+        # clamp the carried budget to a couple of chunks' worth so a
+        # long quiet phase does not license a later sampling burst.
+        budget = min(budget, 3.0 * max(chunk_seconds * cap_rate, 1.0))
+        max_samples = int(budget)
+        if chosen.size > max_samples:
+            if max_samples == 0:
+                chosen = chosen[:0]
+            else:
+                keep = np.linspace(0, chosen.size - 1, max_samples).astype(
+                    np.int64
+                )
+                chosen = chosen[keep]
+        self._budget[tid] = budget - chosen.size
+        return chosen
+
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=False)
+        if len(views) > 1:
+            lat_cat = np.concatenate([v.latencies for v in views])
+            lev_cat = np.concatenate([v.levels for v in views])
+        else:
+            lat_cat = views[0].latencies
+            lev_cat = views[0].levels
+        if self.machine is not None:
+            event_mask = self.machine.latency_model.demand_mask(lat_cat, lev_cat)
+        else:
+            event_mask = lev_cat == LEVEL_DRAM
+        lengths = np.fromiter(
+            (v.latencies.size for v in views), np.int64, len(views)
+        )
+        chosen_cat, counts, ev_counts = self._select_step_from_event_mask(
+            views, event_mask, lengths
+        )
+        if self.max_rate is not None and self.machine is not None and chosen_cat.size:
+            # The budget update is inherently sequential per chunk, but
+            # the cap keeps samples rare so this loop touches few chunks.
+            starts = _starts_from_counts(counts)
+            pieces = []
+            for k in np.nonzero(counts)[0]:
+                v = views[int(k)]
+                pieces.append(
+                    self._apply_rate_cap(
+                        v.tid,
+                        chosen_cat[starts[k]:starts[k + 1]],
+                        v.chunk,
+                        v.latencies,
+                    )
+                )
+                counts[k] = pieces[-1].size
+            chosen_cat = (
+                np.concatenate(pieces) if pieces else chosen_cat[:0]
+            )
+        return self._finish_step(
+            StepSampleBatch(
+                indices=chosen_cat.astype(np.int64),
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=counts.copy(),
+                n_events_total=ev_counts,
                 latency_captured=False,
             )
         )

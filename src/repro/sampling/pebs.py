@@ -22,6 +22,8 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
 )
 
 
@@ -77,9 +79,36 @@ class PEBS(InstructionSamplingMixin, SamplingMechanism):
             )
         )
 
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=False)
+        access_idx, counts, n_positions, n_acc, n_ins = (
+            self._instruction_samples_step(views)
+        )
+        if not self.skid_correction and access_idx.size:
+            # Uncorrected skid: attribution lands on the following access.
+            rows = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+            access_idx = np.minimum(access_idx + 1, n_acc[rows] - 1)
+        return self._finish_step(
+            StepSampleBatch(
+                indices=access_idx,
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=n_positions,
+                n_events_total=n_ins,
+                latency_captured=False,
+            )
+        )
+
     def cost_cycles(self, batch: SampleBatch, chunk: AccessChunk) -> float:
         base = super().cost_cycles(batch, chunk)
         if self.skid_correction:
             # Binary analysis runs for every PEBS record, memory or not.
             base += batch.n_sampled_instructions * self.CORRECTION_COST
+        return base
+
+    def cost_cycles_step(self, step: StepSampleBatch, views) -> np.ndarray:
+        base = super().cost_cycles_step(step, views)
+        if self.skid_correction:
+            base = base + step.n_sampled_instructions * self.CORRECTION_COST
         return base

@@ -21,6 +21,8 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
     periodic_positions,
 )
 
@@ -76,6 +78,31 @@ class PEBSLL(SamplingMechanism):
                 indices=chosen.astype(np.int64),
                 n_sampled_instructions=int(chosen.size),
                 n_events_total=int(event_idx.size),
+                latency_captured=True,
+            )
+        )
+
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=True)
+        lat_cat = (
+            np.concatenate([v.latencies for v in views])
+            if len(views) > 1
+            else views[0].latencies
+        )
+        lengths = np.fromiter(
+            (v.latencies.size for v in views), np.int64, len(views)
+        )
+        chosen, counts, ev_counts = self._select_step_from_event_mask(
+            views, lat_cat > self.latency_threshold, lengths
+        )
+        return self._finish_step(
+            StepSampleBatch(
+                indices=chosen,
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=counts.copy(),
+                n_events_total=ev_counts,
                 latency_captured=True,
             )
         )

@@ -22,7 +22,10 @@ from repro.sampling.base import (
     MechanismCapabilities,
     SampleBatch,
     SamplingMechanism,
+    StepSampleBatch,
+    _starts_from_counts,
     periodic_positions,
+    periodic_positions_step,
 )
 
 
@@ -65,6 +68,29 @@ class SoftIBS(SamplingMechanism):
                 indices=positions,
                 n_sampled_instructions=int(positions.size),
                 n_events_total=chunk.n_accesses,
+                latency_captured=False,
+            )
+        )
+
+    def select_step(self, views) -> StepSampleBatch:
+        if not views:
+            return self._empty_step(latency_captured=False)
+        n_acc = np.fromiter(
+            (v.chunk.n_accesses for v in views), np.int64, len(views)
+        )
+        tids = [v.tid for v in views]
+        carries = self._step_carries(tids)
+        positions, _, counts, new_carries = periodic_positions_step(
+            carries, n_acc, self.period
+        )
+        self._store_step_carries(tids, new_carries)
+        return self._finish_step(
+            StepSampleBatch(
+                indices=positions,
+                counts=counts,
+                starts=_starts_from_counts(counts),
+                n_sampled_instructions=counts.copy(),
+                n_events_total=n_acc,
                 latency_captured=False,
             )
         )

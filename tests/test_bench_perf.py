@@ -120,3 +120,54 @@ class TestMain:
         doc2 = json.loads(out2.read_text())
         assert doc2["comparison"]["ok"]
         assert "vs baseline" in capsys.readouterr().out
+
+    def test_config_mismatched_baseline_is_ignored(self, tmp_path, capsys):
+        """A baseline recorded under a different configuration must not be
+        used for regression comparison."""
+        base = tmp_path / "base.json"
+        rc = perf.main(
+            ["--scale", "0.01", "--threads", "8", "--output", str(base)]
+        )
+        assert rc == 0
+        out = tmp_path / "bench.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "4",  # different config than the baseline
+                "--output", str(out),
+                "--baseline", str(base),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "ignoring baseline" in printed
+        assert "comparison" not in json.loads(out.read_text())
+
+    def test_check_mode_records_and_compares(self, tmp_path, capsys):
+        """--check uses the smoke scale/threshold and exits 0 against a
+        fresh self-recorded baseline."""
+        base = tmp_path / "smoke_base.json"
+        rc = perf.main(
+            [
+                "--check",
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(base),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == 0
+        assert "no baseline found" in capsys.readouterr().out
+        out = tmp_path / "smoke.json"
+        rc = perf.main(
+            [
+                "--check",
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(out),
+                "--baseline", str(base),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["comparison"]["threshold"] == perf.SMOKE_THRESHOLD

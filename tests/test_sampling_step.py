@@ -1,0 +1,175 @@
+"""``select_step`` parity: batched selection must equal sequential ``select``.
+
+The engine hands every mechanism one ``select_step`` call per execution
+step. Each mechanism's vectorized implementation must produce exactly
+what sequential per-chunk ``select`` calls in view order would — same
+sample indices, instruction-sample and event counts, costs, and
+per-thread carries across steps — so that batching stays a pure
+performance knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import presets
+from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, LEVEL_L2
+from repro.runtime.callstack import SourceLoc
+from repro.runtime.chunks import AccessChunk, compute_chunk
+from repro.runtime.heap import HeapAllocator
+from repro.sampling import DEAR, IBS, MRK, PEBS, PEBSLL, SoftIBS
+
+
+class StubView:
+    """ChunkView stand-in carrying just what mechanisms consume."""
+
+    def __init__(self, tid, chunk, levels, target_domains, latencies):
+        self.tid = tid
+        self.chunk = chunk
+        self.levels = levels
+        self.target_domains = target_domains
+        self.latencies = latencies
+
+
+def make_steps(machine, n_steps=8, n_threads=5, seed=123):
+    """Random multi-chunk steps: varying sizes, empty and compute chunks,
+    threads that skip steps — one chunk per thread per step, like the
+    engine guarantees."""
+    heap = HeapAllocator(machine)
+    rng = np.random.default_rng(seed)
+    n_elems = 300_000
+    var = heap.malloc(8 * n_elems, "v", (SourceLoc("main"),))
+    steps = []
+    for s in range(n_steps):
+        views = []
+        for tid in range(n_threads):
+            r = rng.random()
+            if r < 0.15:
+                continue  # this thread skips the step
+            if r < 0.3:
+                views.append(StubView(
+                    tid, compute_chunk(int(rng.integers(1, 500)), SourceLoc("c")),
+                    np.empty(0, np.uint8), np.empty(0, np.int64),
+                    np.empty(0, np.float64),
+                ))
+                continue
+            n = int(rng.integers(1, 4000))
+            n_ins = n * int(rng.integers(1, 6)) + int(rng.integers(0, 50))
+            addrs = var.base + np.sort(rng.integers(0, n_elems, size=n)) * 8
+            chunk = AccessChunk(var, addrs, n_ins, SourceLoc(f"k{s}"))
+            levels = np.full(n, LEVEL_L1, dtype=np.uint8)
+            levels[rng.random(n) < 0.3] = LEVEL_DRAM
+            levels[rng.random(n) < 0.1] = LEVEL_L2
+            targets = rng.integers(0, machine.n_domains, size=n)
+            lat = np.where(
+                levels == LEVEL_DRAM, rng.uniform(150.0, 400.0, n), 4.0
+            )
+            views.append(StubView(tid, chunk, levels, targets, lat))
+        if views:
+            steps.append(views)
+    return steps
+
+
+MECHS = {
+    "ibs": lambda: IBS(period=7),
+    "pebs": lambda: PEBS(period=7),
+    "pebs_noskid": lambda: PEBS(period=7, skid_correction=False),
+    "pebs_ll": lambda: PEBSLL(period=3),
+    "dear": lambda: DEAR(period=3),
+    "mrk": lambda: MRK(period=2),
+    "soft_ibs": lambda: SoftIBS(period=5),
+}
+
+
+@pytest.mark.parametrize("name", list(MECHS))
+def test_select_step_matches_sequential_select(name):
+    """Every mechanism: step-batched selection == per-chunk selection,
+    including cross-chunk and cross-step carries and exact costs."""
+    machine = presets.generic(n_domains=4, cores_per_domain=2)
+    steps = make_steps(machine)
+    seq = MECHS[name]()
+    bat = MECHS[name]()
+    seq.configure(machine)
+    bat.configure(machine)
+    for views in steps:
+        batches = [
+            seq.select(v.tid, v.chunk, v.levels, v.target_domains, v.latencies)
+            for v in views
+        ]
+        step = bat.select_step(views)
+        seq_costs = [seq.cost_cycles(b, v.chunk) for b, v in zip(batches, views)]
+        bat_costs = bat.cost_cycles_step(step, views)
+        assert int(step.counts.sum()) == step.n_samples
+        for k, (b, v) in enumerate(zip(batches, views)):
+            sb = step.batch_for(k)
+            np.testing.assert_array_equal(sb.indices, b.indices)
+            assert sb.n_sampled_instructions == b.n_sampled_instructions
+            assert sb.n_events_total == b.n_events_total
+            assert bat_costs[k] == seq_costs[k]
+            if b.n_samples:
+                assert step.latency_captured == b.latency_captured
+        # Carries agree after every step, so parity survives across steps.
+        assert bat._carry == seq._carry
+    assert bat.total_samples == seq.total_samples
+    assert bat.total_events == seq.total_events
+
+
+class ForcedJitterRNG:
+    """Deterministic RNG stub returning one fixed jitter value."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def integers(self, low, high, size=None):
+        return np.full(size, self.value, dtype=np.int64)
+
+
+def _unit_chunk(heap, name, n):
+    var = heap.malloc(8 * n, name, (SourceLoc("main"),))
+    # n_instructions == n_accesses: every instruction slot is an access,
+    # so sampled positions map 1:1 onto access indices.
+    return AccessChunk(var, var.base + np.arange(n) * 8, n, SourceLoc("k"))
+
+
+class TestJitterDedupe:
+    """Clamped jitter must never emit the same access index twice.
+
+    ``positions - jitter`` clamps at 0, so an oversized jitter draw can
+    land several early samples on slot 0; without adjacent dedupe each
+    collision double-counts one access.
+    """
+
+    def test_scalar_select_dedupes_clamped_positions(self):
+        machine = presets.generic()
+        mech = IBS(period=8)
+        mech.configure(machine)
+        mech._rng = ForcedJitterRNG(40)  # far beyond the jitter window
+        chunk = _unit_chunk(HeapAllocator(machine), "j", 64)
+        levels = np.full(64, LEVEL_L1, dtype=np.uint8)
+        batch = mech.select(
+            0, chunk, levels, np.zeros(64, np.int64), np.full(64, 4.0)
+        )
+        # Grid 7,15,...,63 minus 40 clamps the first five to 0.
+        np.testing.assert_array_equal(batch.indices, [0, 7, 15, 23])
+        # Instruction-sample accounting still counts the full grid.
+        assert batch.n_sampled_instructions == 8
+
+    def test_step_dedupe_respects_chunk_boundaries(self):
+        """A clamp-to-0 sample in one chunk must not swallow the next
+        chunk's position-0 sample in the step-concatenated pass."""
+        machine = presets.generic()
+        mech = IBS(period=8)
+        mech.configure(machine)
+        mech._rng = ForcedJitterRNG(40)
+        heap = HeapAllocator(machine)
+        views = []
+        for tid in range(2):
+            chunk = _unit_chunk(heap, f"j{tid}", 64)
+            views.append(StubView(
+                tid, chunk, np.full(64, LEVEL_L1, dtype=np.uint8),
+                np.zeros(64, np.int64), np.full(64, 4.0),
+            ))
+        step = mech.select_step(views)
+        for k in range(2):
+            np.testing.assert_array_equal(
+                step.batch_for(k).indices, [0, 7, 15, 23]
+            )
