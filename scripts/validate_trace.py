@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON produced by ``--trace``.
+
+Checks (see :func:`repro.obs.validate_chrome_trace`): the file parses as
+JSON, ``traceEvents`` is present, every event carries the required keys,
+timestamps are monotonic in file order, and every ``B`` has a matching
+``E`` on its track. Exits non-zero listing each problem — CI runs this on
+the trace artifact so the exporter can never silently regress.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py out.trace.json [...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_chrome_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: validate_trace.py TRACE.json [TRACE.json ...]",
+              file=sys.stderr)
+        return 2
+    rc = 0
+    for arg in argv:
+        problems = validate_chrome_trace(arg)
+        if problems:
+            rc = 1
+            print(f"{arg}: INVALID")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            with open(arg) as fh:
+                n = len(json.load(fh)["traceEvents"])
+            print(f"{arg}: ok ({n} events)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

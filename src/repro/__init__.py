@@ -34,7 +34,7 @@ Quick start::
 """
 
 from repro._version import __version__
-from repro import errors, units
+from repro import errors, obs, units
 from repro.machine import (
     CacheConfig,
     CacheHierarchy,
@@ -120,6 +120,7 @@ from repro.optim import (
 __all__ = [
     "__version__",
     "errors",
+    "obs",
     "units",
     # machine
     "CacheConfig",

@@ -12,6 +12,7 @@ Examples::
     python -m repro umt --machine power7 --mechanism MRK --threads 32 \\
         --binding scatter
     python -m repro sweep --threads 16 --machine generic
+    python -m repro lulesh --trace out.trace.json --stats   # self-telemetry
     python -m repro bench-perf --scale 0.25   # hot-path perf regression check
 """
 
@@ -31,8 +32,10 @@ from repro import (
     data_centric_view,
     first_touch_view,
     merge_profiles,
+    obs,
     presets,
 )
+from repro.errors import NumaProfError, UsageError
 from repro.runtime.thread import BindingPolicy
 from repro.sampling import create_mechanism
 from repro.workloads import (
@@ -44,14 +47,50 @@ from repro.workloads import (
     UMT2013,
 )
 
-#: name -> (program factory, default preset, default threads, default mech).
+
+def _scaled(value: int, scale: float, floor: int) -> int:
+    return max(int(value * scale), floor)
+
+
+def _builders(scale: float) -> dict:
+    """Workload factories at Table-2 sizes scaled by ``scale``.
+
+    Each takes an optional :class:`NumaTuning` so the ``--optimize`` path
+    can rebuild the program with the advisor's fixes applied.
+    """
+    n = _scaled
+    return {
+        "lulesh": lambda tuning=None: Lulesh(
+            tuning, n_nodes=n(600_000, scale, 8_000)
+        ),
+        "amg": lambda tuning=None: AMG2006(
+            tuning, n_rows=n(200_000, scale, 4_000)
+        ),
+        "blackscholes": lambda tuning=None: Blackscholes(
+            tuning, n_options=n(20_000, scale, 500)
+        ),
+        "umt": lambda tuning=None: UMT2013(
+            tuning,
+            plane_elems=n(8_192, scale, 512),
+            n_angles=n(96, scale, 8),
+        ),
+        "sweep": lambda tuning=None: PartitionedSweep(
+            tuning, n_elems=n(400_000, scale, 8_000)
+        ),
+        "hotspot": lambda tuning=None: CentralHotspot(
+            tuning, n_elems=n(250_000, scale, 8_000)
+        ),
+    }
+
+
+#: name -> (default preset, default threads, default mechanism).
 WORKLOADS = {
-    "lulesh": (Lulesh, "magny_cours", 48, "IBS"),
-    "amg": (AMG2006, "magny_cours", 48, "IBS"),
-    "blackscholes": (Blackscholes, "magny_cours", 48, "IBS"),
-    "umt": (UMT2013, "power7", 32, "MRK"),
-    "sweep": (PartitionedSweep, "generic", 16, "IBS"),
-    "hotspot": (CentralHotspot, "generic", 16, "IBS"),
+    "lulesh": ("magny_cours", 48, "IBS"),
+    "amg": ("magny_cours", 48, "IBS"),
+    "blackscholes": ("magny_cours", 48, "IBS"),
+    "umt": ("power7", 32, "MRK"),
+    "sweep": ("generic", 16, "IBS"),
+    "hotspot": ("generic", 16, "IBS"),
 }
 
 #: Analysis-density sampling periods per mechanism (simulated runs are
@@ -79,6 +118,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["compact", "scatter"])
     parser.add_argument("--period", type=int, default=None,
                         help="sampling period override")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0 = "
+                        "paper sizes; small floors keep runs meaningful)")
     parser.add_argument("--top", type=int, default=6,
                         help="variables to show in the data-centric view")
     parser.add_argument("--var", default=None,
@@ -89,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="print the combined four-pane report instead "
                         "of individual views")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans/counters and write a Chrome "
+                        "trace-event JSON (open in Perfetto)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="also write the telemetry stream as JSONL")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the span/counter summary table")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="diagnostic logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only on the log stream")
     return parser
 
 
@@ -100,31 +153,58 @@ def main(argv: list[str] | None = None) -> int:
 
         return bench_perf_main(argv[1:])
     args = build_parser().parse_args(argv)
-    program_cls, default_preset, default_threads, default_mech = WORKLOADS[
-        args.workload
-    ]
+    obs.configure_logging(verbosity=args.verbose, quiet=args.quiet)
+    try:
+        return _run(args)
+    except NumaProfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    log = obs.get_logger("cli")
+    default_preset, default_threads, default_mech = WORKLOADS[args.workload]
+    build = _builders(args.scale)[args.workload]
     preset_name = args.machine or default_preset
     threads = args.threads or default_threads
     mech_name = args.mechanism or default_mech
     period = args.period or ANALYSIS_PERIODS[mech_name]
     binding = BindingPolicy[args.binding.upper()]
-    machine_factory = presets.PRESETS[preset_name]
+    machine_factory = presets.PRESETS.get(preset_name)
+    if machine_factory is None:
+        raise UsageError(
+            f"unknown machine preset {preset_name!r} "
+            f"(available: {', '.join(sorted(presets.PRESETS))})"
+        )
+    if args.scale <= 0:
+        raise UsageError(f"--scale must be positive, got {args.scale}")
 
     kwargs = {"max_rate": 2e6} if mech_name == "MRK" else {}
     mechanism = create_mechanism(mech_name, period, **kwargs)
 
-    print(f"workload {args.workload} on {preset_name} with {threads} "
-          f"threads, {mech_name} period {period}\n")
+    tracing = bool(args.trace) or bool(args.trace_jsonl) or args.stats
+    if tracing:
+        obs.enable()
+        log.info("telemetry enabled (trace=%s stats=%s)",
+                 args.trace or args.trace_jsonl, args.stats)
+    tr = obs.TRACER
 
-    baseline = ExecutionEngine(
-        machine_factory(), program_cls(), threads, binding=binding
-    ).run()
+    scale_txt = f", scale {args.scale:g}" if args.scale != 1.0 else ""
+    print(f"workload {args.workload} on {preset_name} with {threads} "
+          f"threads, {mech_name} period {period}{scale_txt}\n")
+    log.debug("binding=%s mechanism kwargs=%s", binding.name, kwargs)
+
+    with tr.span("cli.baseline_run", "harness"):
+        baseline = ExecutionEngine(
+            machine_factory(), build(), threads, binding=binding
+        ).run()
     profiler = NumaProfiler(mechanism)
     engine = ExecutionEngine(
-        machine_factory(), program_cls(), threads, monitor=profiler,
+        machine_factory(), build(), threads, monitor=profiler,
         binding=binding,
     )
-    monitored = engine.run()
+    with tr.span("cli.monitored_run", "harness"):
+        monitored = engine.run()
     print(f"baseline {baseline.wall_seconds * 1e3:.2f} ms simulated; "
           f"monitoring overhead "
           f"{monitored.wall_seconds / baseline.wall_seconds - 1:+.1%}; "
@@ -136,9 +216,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis import full_report
 
         print(full_report(merged, focus_var=args.var, top=args.top))
-        return _advise_and_optimize(args, machine_factory, program_cls,
-                                    threads, binding, engine, analysis,
-                                    baseline)
+        rc = _advise_and_optimize(args, machine_factory, build, threads,
+                                  binding, engine, analysis, baseline)
+        _export_telemetry(args, tracing)
+        return rc
     lpi = analysis.program_lpi()
     if lpi is not None:
         verdict = "optimize" if lpi > 0.1 else "not worth optimizing"
@@ -160,14 +241,33 @@ def main(argv: list[str] | None = None) -> int:
         print(first_touch_view(merged, var))
         print()
 
-    return _advise_and_optimize(
-        args, machine_factory, program_cls, threads, binding, engine,
+    rc = _advise_and_optimize(
+        args, machine_factory, build, threads, binding, engine,
         analysis, baseline,
     )
+    _export_telemetry(args, tracing)
+    return rc
+
+
+def _export_telemetry(args: argparse.Namespace, tracing: bool) -> None:
+    """Flush the run's telemetry to the requested sinks."""
+    if not tracing:
+        return
+    tr = obs.disable()
+    if args.trace:
+        obs.write_chrome_trace(tr, args.trace)
+        print(f"chrome trace written to {args.trace} "
+              f"({len(tr.events)} events; open in Perfetto)")
+    if args.trace_jsonl:
+        obs.write_jsonl(tr, args.trace_jsonl)
+        print(f"telemetry JSONL written to {args.trace_jsonl}")
+    if args.stats:
+        print()
+        print(obs.summary_table(tr))
 
 
 def _advise_and_optimize(
-    args, machine_factory, program_cls, threads, binding, engine, analysis,
+    args, machine_factory, build, threads, binding, engine, analysis,
     baseline,
 ) -> int:
     advice = advise(
@@ -179,9 +279,10 @@ def _advise_and_optimize(
 
     if args.optimize and advice.worth_optimizing:
         tuning = apply_advice(advice, machine_factory().n_domains)
-        optimized = ExecutionEngine(
-            machine_factory(), program_cls(tuning), threads, binding=binding
-        ).run()
+        with obs.TRACER.span("cli.optimized_run", "harness"):
+            optimized = ExecutionEngine(
+                machine_factory(), build(tuning), threads, binding=binding
+            ).run()
         gain = baseline.wall_seconds / optimized.wall_seconds - 1
         print(f"\napplied: {tuning.describe()}")
         print(f"optimized run: {optimized.wall_seconds * 1e3:.2f} ms "

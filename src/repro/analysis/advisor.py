@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.analyzer import NumaAnalysis
 from repro.analysis.merge import MergedVar
 from repro.analysis.patterns import (
@@ -111,6 +112,24 @@ def advise(
     orders; it comes from the engine's binding (the profiler records each
     thread's domain, used as the default).
     """
+    with obs.TRACER.span("analysis.advise", "analysis"):
+        return _advise(
+            analysis,
+            top=top,
+            min_cost_share=min_cost_share,
+            lpi_threshold=lpi_threshold,
+            thread_domains=thread_domains,
+        )
+
+
+def _advise(
+    analysis: NumaAnalysis,
+    *,
+    top: int,
+    min_cost_share: float,
+    lpi_threshold: float,
+    thread_domains: dict[int, int] | None,
+) -> Advice:
     merged = analysis.merged
     lpi = analysis.program_lpi()
     if lpi is not None and lpi <= lpi_threshold:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ProfileError
 from repro.profiler.cct import CCT
 from repro.profiler.profile_data import (
@@ -173,7 +174,13 @@ def merge_profiles(archive: ProfileArchive) -> MergedProfile:
     """Merge an archive's per-thread profiles (hpcprof's job)."""
     if not archive.profiles:
         raise ProfileError("archive contains no thread profiles")
+    with obs.TRACER.span(
+        "analysis.merge", "analysis", n_threads=len(archive.profiles)
+    ):
+        return _merge_profiles(archive)
 
+
+def _merge_profiles(archive: ProfileArchive) -> MergedProfile:
     cct = CCT()
     data_cct = CCT()
     vars_merged: dict[str, MergedVar] = {}

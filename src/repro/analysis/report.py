@@ -10,6 +10,7 @@ gives everything a developer needs to decide and act.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.analyzer import NumaAnalysis
 from repro.analysis.merge import MergedProfile
 from repro.analysis.views import (
@@ -54,6 +55,17 @@ def full_report(
     ``focus_var`` selects the variable for the address-centric and
     first-touch panes; defaults to the hottest variable.
     """
+    with obs.TRACER.span("analysis.report", "analysis"):
+        return _full_report(merged, focus_var=focus_var, top=top, width=width)
+
+
+def _full_report(
+    merged: MergedProfile,
+    *,
+    focus_var: str | None,
+    top: int,
+    width: int,
+) -> str:
     analysis = NumaAnalysis(merged)
     sections = [
         f"{'=' * 72}",

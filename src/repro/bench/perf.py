@@ -33,6 +33,7 @@ import json
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.bench.harness import fmt_table
 from repro.machine import presets
 from repro.profiler import NumaProfiler
@@ -56,6 +57,10 @@ SMOKE_OUTPUT = "BENCH_perf_smoke.json"
 SMOKE_BASELINE = "results/BENCH_perf_smoke_baseline.json"
 SMOKE_SCALE = 0.1
 SMOKE_THRESHOLD = 0.5
+
+#: Maximum estimated cost of *disabled* telemetry tolerated by ``--check``
+#: (fraction of a small engine-only run's wall time, in percent).
+NOOP_OVERHEAD_LIMIT_PCT = 5.0
 
 #: Baseline keys that must match the requested run configuration —
 #: comparing throughputs across different presets/sizes is meaningless.
@@ -102,6 +107,30 @@ def _timed_run(machine_factory, program_factory, threads, monitor=None):
     return time.perf_counter() - t0, result
 
 
+def _traced_breakdown(machine_factory, factory, threads, mechanism, period):
+    """One extra monitored run under a private enabled tracer; returns the
+    per-phase self-time breakdown plus that run's wall seconds."""
+    tracer = obs.Tracer()
+    old = obs.set_tracer(tracer)
+    try:
+        tracer.enable()
+        wall_s, _ = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        )
+        tracer.disable()
+    finally:
+        obs.set_tracer(old)
+    pb = obs.phase_breakdown(tracer)
+    return {
+        "wall_s": wall_s,
+        "by_category": pb["by_category"],
+        "by_span": pb["by_span"],
+        "total_self_s": pb["total_self_s"],
+        "coverage": pb["total_self_s"] / wall_s if wall_s else 0.0,
+    }
+
+
 def run_perf(
     *,
     preset: str = "magny_cours",
@@ -110,8 +139,14 @@ def run_perf(
     period: int = 4096,
     scale: float = 1.0,
     workloads: dict | None = None,
+    phase_breakdown: bool = False,
 ) -> dict:
-    """Measure all workloads; return the ``bench-perf/v1`` document."""
+    """Measure all workloads; return the ``bench-perf/v1`` document.
+
+    With ``phase_breakdown`` each workload gets one extra monitored run
+    under an enabled tracer, and per-phase (span category) self-times are
+    recorded alongside the throughput numbers.
+    """
     machine_factory = presets.PRESETS[preset]
     workloads = workloads or default_workloads(scale)
 
@@ -141,6 +176,10 @@ def run_perf(
         entry["monitored"]["overhead_pct"] = (
             (mon_s / base_s - 1.0) * 100.0 if base_s > 0 else 0.0
         )
+        if phase_breakdown:
+            entry["phase_breakdown"] = _traced_breakdown(
+                machine_factory, factory, threads, mechanism, period
+            )
         doc["workloads"][name] = entry
         for mode, (wall, res) in (
             ("engine_only", (base_s, base_res)),
@@ -162,8 +201,80 @@ def run_perf(
         if tot["engine_only"]["wall_s"]
         else 0.0
     )
+    if phase_breakdown:
+        agg: dict[str, float] = {}
+        pb_wall = 0.0
+        for entry in doc["workloads"].values():
+            pb = entry["phase_breakdown"]
+            pb_wall += pb["wall_s"]
+            for cat, secs in pb["by_category"].items():
+                agg[cat] = agg.get(cat, 0.0) + secs
+        tot["phase_breakdown"] = {
+            "wall_s": pb_wall,
+            "by_category": agg,
+            "total_self_s": sum(agg.values()),
+            "coverage": sum(agg.values()) / pb_wall if pb_wall else 0.0,
+        }
     doc["totals"] = tot
     return doc
+
+
+def measure_noop_overhead(
+    *,
+    preset: str = "generic",
+    threads: int = 8,
+    scale: float = 0.05,
+    repeats: int = 3,
+    bench_loops: int = 200_000,
+) -> dict:
+    """Estimate what disabled telemetry costs an engine-only run.
+
+    There is no un-instrumented build to race against, so the estimate is
+    constructive: run a small workload under a :class:`~repro.obs.tracer.
+    CountingTracer` to count how many instrumentation sites actually fire,
+    microbenchmark the disabled per-site cost (a module-global fetch plus
+    an ``enabled`` test — exactly what every guarded hot path executes),
+    and compare their product against the run's wall time. The site count
+    is taken from the *enabled* path, which touches strictly more calls
+    than the disabled one, so the estimate errs high.
+    """
+    from repro.workloads import PartitionedSweep
+
+    machine_factory = presets.PRESETS[preset]
+    n_elems = max(int(400_000 * scale), 8_000)
+
+    def run() -> float:
+        wall_s, _ = _timed_run(
+            machine_factory, lambda: PartitionedSweep(n_elems=n_elems),
+            threads,
+        )
+        return wall_s
+
+    run()  # warm-up (imports, allocator pools)
+    wall_s = min(run() for _ in range(repeats))
+
+    counter = obs.CountingTracer()
+    old = obs.set_tracer(counter)
+    try:
+        run()
+    finally:
+        obs.set_tracer(old)
+
+    t0 = time.perf_counter()
+    for _ in range(bench_loops):
+        tr = obs.TRACER
+        if tr.enabled:  # pragma: no cover - tracer is disabled here
+            pass
+    per_site_s = (time.perf_counter() - t0) / bench_loops
+
+    estimated_s = counter.n_calls * per_site_s
+    return {
+        "wall_s": wall_s,
+        "instrumentation_sites": int(counter.n_calls),
+        "per_site_s": per_site_s,
+        "estimated_overhead_s": estimated_s,
+        "overhead_pct": 100.0 * estimated_s / wall_s if wall_s else 0.0,
+    }
 
 
 def compare(current: dict, baseline: dict, threshold: float) -> dict:
@@ -234,13 +345,38 @@ def render(doc: dict) -> str:
         f"{tot['monitored']['wall_s']:.2f}s",
         f"{tot['monitored_overhead_pct']:+.0f}%",
     ])
-    return fmt_table(
+    table = fmt_table(
         ["workload", "engine s", "chunks/s", "accesses/s", "monitored s",
          "overhead"],
         rows,
         title=f"bench-perf — {doc['preset']}, {doc['threads']} threads, "
         f"{doc['mechanism']} period {doc['period']}",
     )
+    pb_tot = doc["totals"].get("phase_breakdown")
+    if pb_tot:
+        pb_rows = []
+        cats = sorted(
+            pb_tot["by_category"], key=pb_tot["by_category"].get,
+            reverse=True,
+        )
+        for cat in cats:
+            secs = pb_tot["by_category"][cat]
+            pb_rows.append([
+                cat,
+                f"{secs:.3f}s",
+                f"{secs / pb_tot['wall_s']:.1%}" if pb_tot["wall_s"] else "-",
+            ])
+        pb_rows.append([
+            "(total self)",
+            f"{pb_tot['total_self_s']:.3f}s",
+            f"{pb_tot['coverage']:.1%} of {pb_tot['wall_s']:.2f}s wall",
+        ])
+        table += "\n\n" + fmt_table(
+            ["phase", "self time", "share of wall"],
+            pb_rows,
+            title="phase breakdown — traced monitored runs",
+        )
+    return table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=None,
                         help="workload-size multiplier (0.1 = 10%% inputs; "
                         f"default: 1.0, or {SMOKE_SCALE} with --check)")
+    parser.add_argument("--phase-breakdown", action="store_true",
+                        help="add one traced monitored run per workload and "
+                        "record per-phase self-times in the output JSON")
     return parser
 
 
@@ -323,7 +462,13 @@ def main(argv: list[str] | None = None) -> int:
         mechanism=args.mechanism,
         period=args.period,
         scale=args.scale,
+        phase_breakdown=args.phase_breakdown,
     )
+    noop_ok = True
+    if args.check:
+        noop = measure_noop_overhead()
+        doc["noop_overhead"] = dict(noop, limit_pct=NOOP_OVERHEAD_LIMIT_PCT)
+        noop_ok = noop["overhead_pct"] < NOOP_OVERHEAD_LIMIT_PCT
     if baseline is not None:
         doc["comparison"] = dict(
             compare(doc, baseline, args.threshold), baseline=baseline_path
@@ -336,10 +481,21 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(doc, fh, indent=2)
 
     print(render(doc))
+    noop = doc.get("noop_overhead")
+    if noop is not None:
+        verdict = "ok" if noop_ok else "TOO HIGH"
+        print(f"\ndisabled-telemetry estimate: "
+              f"{noop['instrumentation_sites']:,} sites x "
+              f"{noop['per_site_s'] * 1e9:.0f} ns = "
+              f"{noop['overhead_pct']:.2f}% of a "
+              f"{noop['wall_s'] * 1e3:.0f} ms engine-only run "
+              f"(limit {NOOP_OVERHEAD_LIMIT_PCT:.0f}%: {verdict})")
+        if not noop_ok:
+            print("  REGRESSION: disabled tracer hooks cost too much")
     comparison = doc.get("comparison")
     if comparison is None:
         print(f"\nno baseline found — recorded {out} as the new reference")
-        return 0
+        return 0 if noop_ok else 1
     eng = comparison["speedups"]["totals"]["engine_only"]
     mon = comparison["speedups"]["totals"]["monitored"]
     print(f"\nvs baseline {comparison['baseline']}: engine-only "
@@ -347,7 +503,7 @@ def main(argv: list[str] | None = None) -> int:
           f"{comparison['threshold']:.0%} drop)")
     for reg in comparison["regressions"]:
         print(f"  REGRESSION: {reg}")
-    return 0 if comparison["ok"] else 1
+    return 0 if comparison["ok"] and noop_ok else 1
 
 
 if __name__ == "__main__":

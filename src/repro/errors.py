@@ -41,3 +41,7 @@ class ProgramError(NumaProfError):
 
 class ProfileError(NumaProfError):
     """Inconsistent profile data during collection, merge, or analysis."""
+
+
+class UsageError(NumaProfError):
+    """Invalid workload/machine/mechanism combination requested by a caller."""

@@ -1,0 +1,46 @@
+"""Stdlib-logging bridge: one ``repro`` logger, CLI verbosity mapping.
+
+All library modules log through ``logging.getLogger("repro.<area>")``;
+nothing is emitted unless the embedding application (or the CLI's
+``--verbose``/``--quiet`` flags via :func:`configure_logging`) attaches
+a handler — the usual library-logging contract.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["logger", "get_logger", "configure_logging"]
+
+logger = logging.getLogger("repro")
+
+
+def get_logger(area: str) -> logging.Logger:
+    """Child logger for one subsystem, e.g. ``get_logger("engine")``."""
+    return logger.getChild(area)
+
+
+def configure_logging(
+    verbosity: int = 0, *, quiet: bool = False, stream=None
+) -> None:
+    """Wire the ``repro`` logger to a stream handler for CLI use.
+
+    ``verbosity`` 0 -> WARNING, 1 (``-v``) -> INFO, 2+ (``-vv``) ->
+    DEBUG; ``quiet`` overrides everything down to ERROR. Idempotent:
+    reconfiguring replaces the handler instead of stacking duplicates.
+    """
+    level = logging.ERROR if quiet else (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ProfileError
 from repro.machine.cache import LEVEL_DRAM
 from repro.profiler.accum import MinMaxTable, RowTable
@@ -190,6 +191,7 @@ class NumaProfiler(Monitor):
             path=path,
         )
         profile.first_touches.append(record)
+        obs.TRACER.count("profiler.first_touch_pages", record.n_pages)
         # Code-centric: the faulting context; data-centric: hang the first
         # touch under the variable's allocation path behind a dummy node.
         profile.cct.attribute(path, {"FIRST_TOUCH_PAGES": float(record.n_pages)})
@@ -235,8 +237,15 @@ class NumaProfiler(Monitor):
         Falls back to the per-chunk immediate path when ``deferred`` is
         off (the golden reference for the parity tests).
         """
+        tr = obs.TRACER
+        traced = tr.enabled
         if not self.deferred:
+            if traced:
+                with tr.span("profiler.on_step", "profiler"):
+                    return [self._observe(v) for v in views]
             return [self._observe(v) for v in views]
+        if traced:
+            tr.begin("profiler.on_step", "profiler")
         step = self.mechanism.select_step(views)
         caps = self.mechanism.capabilities
         counting = caps.counts_absolute_events
@@ -304,8 +313,15 @@ class NumaProfiler(Monitor):
             sampled.append((v, chunk.addrs[idx], remote, s_lat, m))
 
         if sampled:
-            self._record_step_samples(sampled, crows, lat_ok)
-        return self.mechanism.cost_cycles_step(step, views)
+            if traced:
+                with tr.span("profiler.attribute", "profiler"):
+                    self._record_step_samples(sampled, crows, lat_ok)
+            else:
+                self._record_step_samples(sampled, crows, lat_ok)
+        costs = self.mechanism.cost_cycles_step(step, views)
+        if traced:
+            tr.end()
+        return costs
 
     def _record_step_samples(
         self, sampled: list[tuple], crows: list[int], lat_ok: bool
@@ -478,8 +494,24 @@ class NumaProfiler(Monitor):
         if self.archive is not None:
             self.archive.run_result = result
         if self.deferred and self.archive is not None and not self._flushed:
-            self._flush()
+            tr = obs.TRACER
+            if tr.enabled:
+                tr.gauge("profiler.code_rows", self._code_tab.n_rows)
+                tr.gauge("profiler.data_rows", self._data_tab.n_rows)
+                tr.gauge("profiler.var_rows", self._var_tab.n_rows)
+                tr.gauge("profiler.bin_rows", self._bin_tab.n_rows)
+                tr.gauge("profiler.range_blocks", len(self._range_rows))
+                with tr.span("profiler.flush", "profiler"):
+                    self._flush()
+            else:
+                self._flush()
             self._flushed = True
+            obs.get_logger("profiler").debug(
+                "flushed deferred accumulators: %d code rows, %d data rows, "
+                "%d variables",
+                self._code_tab.n_rows, self._data_tab.n_rows,
+                self._var_tab.n_rows,
+            )
 
     def _flush(self) -> None:
         """Fold the flat accumulator tables into the profile structures."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ProgramError
 from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, LEVEL_L2
 from repro.machine.machine import Machine
@@ -144,6 +145,7 @@ class LazyChunkView:
     def levels(self) -> np.ndarray:
         lv = self._levels
         if lv is None:
+            obs.TRACER.count("engine.lazy.materialized_levels")
             summ = self._summ
             lv = np.full(self.chunk.n_accesses, LEVEL_L1, dtype=np.uint8)
             lv[summ.fetch] = summ.fetch_level
@@ -154,6 +156,7 @@ class LazyChunkView:
     def target_domains(self) -> np.ndarray:
         tg = self._targets
         if tg is None:
+            obs.TRACER.count("engine.lazy.materialized_targets")
             chunk = self.chunk
             seg = chunk.var.segment
             pages = chunk.addrs // self._machine.page_size
@@ -165,6 +168,7 @@ class LazyChunkView:
     def latencies(self) -> np.ndarray:
         lat = self._lat
         if lat is None:
+            obs.TRACER.count("engine.lazy.materialized_latencies")
             summ = self._summ
             lm = self._machine.latency_model
             lat = np.full(self.chunk.n_accesses, lm.l1, dtype=np.float64)
@@ -395,13 +399,27 @@ class ExecutionEngine:
         if self._ran:
             raise ProgramError("ExecutionEngine is single-use; build a new one")
         self._ran = True
+        tr = obs.TRACER
+        if not tr.enabled:
+            return self._run(tr)
+        tr.begin("engine.run", "engine", program=self.program.name)
+        try:
+            return self._run(tr)
+        finally:
+            tr.end()
 
+    def _run(self, tr) -> RunResult:
         if self.monitor is not None:
             self.heap.add_monitor(self.monitor)
             self.monitor.on_run_start(self)
 
-        self.program.setup(self.ctx)
-        regions = self.program.regions(self.ctx)
+        if tr.enabled:
+            with tr.span("engine.setup", "engine"):
+                self.program.setup(self.ctx)
+                regions = self.program.regions(self.ctx)
+        else:
+            self.program.setup(self.ctx)
+            regions = self.program.regions(self.ctx)
 
         busy = np.zeros(len(self.threads), dtype=np.float64)
         overhead = 0.0
@@ -424,6 +442,13 @@ class ExecutionEngine:
                 else self.threads[:1]
             )
             for iteration in range(region.repeat):
+                traced = tr.enabled
+                if traced:
+                    iter_t0 = tr.now_ns()
+                    tr.begin(
+                        "engine.region", "engine",
+                        region=region.name, iteration=iteration,
+                    )
                 iters = {}
                 for t in active:
                     self.callstacks[t.tid].push(region.src)
@@ -444,7 +469,12 @@ class ExecutionEngine:
                     if not step:
                         break
 
-                    stats = self._execute_step(step, region_cycles)
+                    if traced:
+                        tr.begin("engine.step", "engine")
+                        stats = self._execute_step(step, region_cycles)
+                        tr.end()
+                    else:
+                        stats = self._execute_step(step, region_cycles)
                     overhead += stats["overhead"]
                     total_instructions += stats["instructions"]
                     total_accesses += stats["accesses"]
@@ -458,6 +488,17 @@ class ExecutionEngine:
                     if self.monitor is not None:
                         self.monitor.on_region_exit(t.tid, region, iteration)
                     self.callstacks[t.tid].pop()
+
+                if traced:
+                    tr.end()
+                    # Per-simulated-thread mirror tracks: the region
+                    # iteration as each thread saw it (lockstep, so the
+                    # host-time interval is shared).
+                    iter_t1 = tr.now_ns()
+                    for t in active:
+                        tr.pair(
+                            region.name, "engine", t.tid, iter_t0, iter_t1
+                        )
 
                 elapsed = max(region_cycles.values()) if region_cycles else 0.0
                 for t in active:
@@ -512,6 +553,12 @@ class ExecutionEngine:
         page_size = machine.page_size
         n_domains = machine.n_domains
         n_active = len(step)
+        tr = obs.TRACER
+        traced = tr.enabled
+        if traced:
+            tr.count("engine.steps")
+            tr.count("engine.chunks", n_active)
+            tr.begin("engine.page_traps", "engine")
 
         # ---- phase 1: ordered page-protection traps + first touches ---- #
         trap_costs = [0.0] * n_active
@@ -538,6 +585,10 @@ class ExecutionEngine:
                     trap_costs[i] = cost
             if seg.n_unbound:
                 machine.page_table.touch_pages(pages, t.cpu)
+
+        if traced:
+            tr.end()
+            tr.begin("engine.classify", "engine")
 
         # ---- phase 2: classification / placement (batched or per-chunk) -- #
         n_mem = len(mem_idx)
@@ -592,6 +643,15 @@ class ExecutionEngine:
                         fetch_idx[k] = fidx
                         dram_targets[k] = tgt
                         step_requests += np.bincount(tgt, minlength=n_domains)
+
+        if traced:
+            if n_mem:
+                tr.count(
+                    "engine.steps_batched" if batched
+                    else "engine.steps_summary"
+                )
+            tr.end()
+            tr.begin("engine.latency", "engine")
 
         inflation = machine.contention.inflation(step_requests, n_active)
 
@@ -672,9 +732,14 @@ class ExecutionEngine:
                     if keep_fetch_lat:
                         chunk_lat[k] = fetch_lat
 
+        if traced:
+            tr.end()
+
         # ---- monitors: one on_step call with per-chunk views ---- #
         costs: list[float] | None = None
         if self.monitor is not None:
+            if traced:
+                tr.begin("engine.monitor", "engine")
             views = []
             mem_rank = {i: k for k, i in enumerate(mem_idx)}
             for i, (t, chunk) in enumerate(step):
@@ -697,6 +762,8 @@ class ExecutionEngine:
                         machine, fetch_idx[k], dram_targets[k], chunk_lat[k],
                     ))
             costs = list(self.monitor.on_step(views))
+            if traced:
+                tr.end()
             if len(costs) != n_active:
                 raise ProgramError(
                     f"monitor on_step returned {len(costs)} costs for "

@@ -11,10 +11,12 @@ sampled".
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import MechanismError
 from repro.machine.machine import Machine
 from repro.runtime.chunks import AccessChunk
@@ -88,6 +90,29 @@ class StepSampleBatch:
             n_events_total=int(self.n_events_total[k]),
             latency_captured=self.latency_captured,
         )
+
+
+def traced_select_step(fn):
+    """Wrap a mechanism's ``select_step`` in a ``sampling``-category span.
+
+    Every mechanism decorates its override so step selection shows up as
+    ``sampling.select_step`` in traces and phase breakdowns regardless of
+    which mechanism runs. When tracing is disabled the wrapper costs one
+    attribute check per step.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, views):
+        tr = obs.TRACER
+        if not tr.enabled:
+            return fn(self, views)
+        tr.begin("sampling.select_step", "sampling", mech=self.name)
+        try:
+            return fn(self, views)
+        finally:
+            tr.end()
+
+    return wrapper
 
 
 def _starts_from_counts(counts: np.ndarray) -> np.ndarray:
@@ -275,6 +300,7 @@ class SamplingMechanism(abc.ABC):
     ) -> SampleBatch:
         """Choose samples from one executed chunk."""
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         """Choose samples for every chunk of one execution step at once.
 
@@ -341,8 +367,13 @@ class SamplingMechanism(abc.ABC):
             carry[t] = c
 
     def _finish_step(self, step: StepSampleBatch) -> StepSampleBatch:
+        events = int(step.n_events_total.sum())
         self.total_samples += step.n_samples
-        self.total_events += int(step.n_events_total.sum())
+        self.total_events += events
+        tr = obs.TRACER
+        if tr.enabled:
+            tr.count("sampling.samples.selected", step.n_samples)
+            tr.count("sampling.events.observed", events)
         return step
 
     def _empty_step(self, *, latency_captured: bool) -> StepSampleBatch:
@@ -410,6 +441,10 @@ class SamplingMechanism(abc.ABC):
     def _finish(self, batch: SampleBatch) -> SampleBatch:
         self.total_samples += batch.n_samples
         self.total_events += batch.n_events_total
+        tr = obs.TRACER
+        if tr.enabled:
+            tr.count("sampling.samples.selected", batch.n_samples)
+            tr.count("sampling.events.observed", batch.n_events_total)
         return batch
 
     def describe(self) -> str:
@@ -447,7 +482,13 @@ class InstructionSamplingMixin:
         if jitter_width > 1:
             jitter = self._rng.integers(0, jitter_width, size=n_positions)
             positions = np.maximum(positions - jitter, 0)
-            positions = _dedupe_sorted(positions)
+            deduped = _dedupe_sorted(positions)
+            if deduped.size != positions.size:
+                obs.TRACER.count(
+                    "sampling.samples.dropped",
+                    positions.size - deduped.size,
+                )
+            positions = deduped
         n_acc = chunk.n_accesses
         n_ins = chunk.n_instructions
         is_mem = (positions * n_acc) % n_ins < n_acc
@@ -497,8 +538,13 @@ class InstructionSamplingMixin:
                 mem_rows[1:] != mem_rows[:-1],
                 out=dedup[1:],
             )
+            n_before = mem_pos.size
             mem_pos = mem_pos[dedup]
             mem_rows = mem_rows[dedup]
+            if mem_pos.size != n_before:
+                obs.TRACER.count(
+                    "sampling.samples.dropped", n_before - mem_pos.size
+                )
         na = n_acc[mem_rows]
         ni = n_ins[mem_rows]
         is_mem = (mem_pos * na) % ni < na

@@ -20,6 +20,7 @@ from repro.sampling.base import (
     SamplingMechanism,
     StepSampleBatch,
     _starts_from_counts,
+    traced_select_step,
     periodic_positions,
 )
 
@@ -68,6 +69,7 @@ class DEAR(SamplingMechanism):
             )
         )
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         if not views:
             return self._empty_step(latency_captured=False)

@@ -21,6 +21,7 @@ from repro.sampling.base import (
     SamplingMechanism,
     StepSampleBatch,
     _starts_from_counts,
+    traced_select_step,
 )
 
 
@@ -63,6 +64,7 @@ class IBS(InstructionSamplingMixin, SamplingMechanism):
             )
         )
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         if not views:
             return self._empty_step(latency_captured=True)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.machine.cache import LEVEL_DRAM
 from repro.runtime.chunks import AccessChunk
 from repro.sampling.base import (
@@ -22,6 +23,7 @@ from repro.sampling.base import (
     StepSampleBatch,
     _starts_from_counts,
     periodic_positions,
+    traced_select_step,
 )
 
 
@@ -119,6 +121,9 @@ class MRK(SamplingMechanism):
         budget = min(budget, 3.0 * max(chunk_seconds * cap_rate, 1.0))
         max_samples = int(budget)
         if chosen.size > max_samples:
+            obs.TRACER.count(
+                "sampling.samples.dropped", chosen.size - max_samples
+            )
             if max_samples == 0:
                 chosen = chosen[:0]
             else:
@@ -129,6 +134,7 @@ class MRK(SamplingMechanism):
         self._budget[tid] = budget - chosen.size
         return chosen
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         if not views:
             return self._empty_step(latency_captured=False)

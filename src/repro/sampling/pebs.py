@@ -24,6 +24,7 @@ from repro.sampling.base import (
     SamplingMechanism,
     StepSampleBatch,
     _starts_from_counts,
+    traced_select_step,
 )
 
 
@@ -79,6 +80,7 @@ class PEBS(InstructionSamplingMixin, SamplingMechanism):
             )
         )
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         if not views:
             return self._empty_step(latency_captured=False)

@@ -24,6 +24,7 @@ from repro.sampling.base import (
     SamplingMechanism,
     StepSampleBatch,
     _starts_from_counts,
+    traced_select_step,
     periodic_positions,
     periodic_positions_step,
 )
@@ -72,6 +73,7 @@ class SoftIBS(SamplingMechanism):
             )
         )
 
+    @traced_select_step
     def select_step(self, views) -> StepSampleBatch:
         if not views:
             return self._empty_step(latency_captured=False)

@@ -171,3 +171,40 @@ class TestMain:
         assert rc == 0
         doc = json.loads(out.read_text())
         assert doc["comparison"]["threshold"] == perf.SMOKE_THRESHOLD
+
+    def test_check_mode_gates_noop_overhead(self, tmp_path, capsys):
+        out = tmp_path / "smoke.json"
+        rc = perf.main(
+            [
+                "--check",
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(out),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        noop = doc["noop_overhead"]
+        assert noop["instrumentation_sites"] > 0
+        assert noop["overhead_pct"] < noop["limit_pct"]
+        assert "disabled-telemetry estimate" in capsys.readouterr().out
+
+    def test_phase_breakdown_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "8",
+                "--phase-breakdown",
+                "--output", str(out),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        for entry in doc["workloads"].values():
+            pb = entry["phase_breakdown"]
+            assert pb["by_category"]["engine"] > 0
+            assert 0.0 < pb["coverage"] <= 1.1
+        assert "phase breakdown" in capsys.readouterr().out

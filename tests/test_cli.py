@@ -54,3 +54,71 @@ class TestMain:
         rc = main(["sweep", "--threads", "4", "--var", "data"])
         assert rc == 0
         assert "address-centric view — data" in capsys.readouterr().out
+
+    def test_scale_flag(self, capsys):
+        rc = main(["sweep", "--threads", "4", "--scale", "0.05"])
+        assert rc == 0
+        assert "scale 0.05" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_unknown_machine_is_one_clean_line(self, capsys):
+        rc = main(["sweep", "--machine", "nope"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: unknown machine preset")
+        assert "Traceback" not in captured.err
+
+    def test_nonpositive_scale_rejected(self, capsys):
+        rc = main(["sweep", "--scale", "0"])
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_trace_stats_jsonl(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "out.trace.json"
+        jsonl = tmp_path / "out.jsonl"
+        rc = main([
+            "sweep", "--threads", "8", "--scale", "0.1",
+            "--trace", str(trace), "--trace-jsonl", str(jsonl), "--stats",
+        ])
+        assert rc == 0
+        assert validate_chrome_trace(trace) == []
+        assert jsonl.stat().st_size > 0
+        out = capsys.readouterr().out
+        assert "telemetry summary — spans" in out
+        assert "engine.run" in out
+        assert "sampling.samples.selected" in out
+        # The CLI must leave the global tracer off for the next caller.
+        assert not obs.TRACER.enabled
+
+    def test_stats_without_trace_file(self, tmp_path, capsys):
+        rc = main(["sweep", "--threads", "4", "--scale", "0.05", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary — counters" in out
+
+    def test_run_without_telemetry_collects_nothing(self, capsys):
+        from repro import obs
+
+        obs.TRACER.clear()  # drop data a prior --stats run left readable
+        rc = main(["sweep", "--threads", "4", "--scale", "0.05"])
+        assert rc == 0
+        assert obs.TRACER.events == []
+        assert "telemetry summary" not in capsys.readouterr().out
+
+    def test_verbose_and_quiet_set_log_levels(self):
+        import logging
+
+        from repro import obs
+
+        rc = main(["sweep", "--threads", "4", "--scale", "0.05", "-vv"])
+        assert rc == 0
+        assert obs.logger.level == logging.DEBUG
+        rc = main(["sweep", "--threads", "4", "--scale", "0.05", "-q"])
+        assert rc == 0
+        assert obs.logger.level == logging.ERROR

@@ -1,0 +1,102 @@
+"""End-to-end telemetry: a traced monitored run covers the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NumaAnalysis, NumaProfiler, advise, merge_profiles, obs
+from repro.bench.perf import measure_noop_overhead, run_perf
+from repro.obs import chrome_trace, phase_breakdown, validate_chrome_trace
+from repro.runtime import ExecutionEngine
+from repro.sampling import IBS
+
+from .conftest import ToyProgram
+
+
+@pytest.fixture
+def traced():
+    """Enable the global tracer for one test; always restore it."""
+    tracer = obs.enable()
+    yield tracer
+    obs.disable()
+    tracer.clear()
+
+
+def _traced_pipeline(small_machine):
+    profiler = NumaProfiler(IBS(period=512))
+    engine = ExecutionEngine(
+        small_machine, ToyProgram(n_elems=60_000, steps=2), 8,
+        monitor=profiler,
+    )
+    engine.run()
+    merged = merge_profiles(profiler.archive)
+    advise(NumaAnalysis(merged),
+           thread_domains={t.tid: t.domain for t in engine.threads})
+    return merged
+
+
+class TestTracedPipeline:
+    def test_all_phases_covered(self, traced, small_machine):
+        _traced_pipeline(small_machine)
+        cats = {cat for (cat, _name) in traced.self_ns}
+        assert {"engine", "sampling", "profiler", "analysis"} <= cats
+        assert traced.counters["engine.steps"] > 0
+        assert traced.counters["sampling.samples.selected"] > 0
+        assert traced.gauges["profiler.code_rows"] > 0
+
+    def test_trace_is_valid_chrome_json(self, traced, small_machine):
+        _traced_pipeline(small_machine)
+        doc = chrome_trace(traced)
+        assert validate_chrome_trace(doc) == []
+        # One track per simulated thread plus the harness track.
+        tids = {ev["tid"] for ev in doc["traceEvents"]}
+        assert 0 in tids and len(tids) >= 9
+
+    def test_self_times_partition_engine_run(self, traced, small_machine):
+        _traced_pipeline(small_machine)
+        pb = phase_breakdown(traced)
+        # Spans inside engine.run (engine/sampling/profiler) partition its
+        # inclusive duration exactly; analysis spans sit outside it.
+        inside = sum(
+            pb["by_category"][cat]
+            for cat in ("engine", "sampling", "profiler")
+        )
+        run_total_s = traced.total_ns[("engine", "engine.run")] / 1e9
+        assert inside == pytest.approx(run_total_s, rel=1e-9)
+
+
+class TestNoopOverhead:
+    def test_disabled_telemetry_under_five_percent(self):
+        est = measure_noop_overhead(
+            preset="generic", threads=4, scale=0.02, repeats=2,
+            bench_loops=50_000,
+        )
+        assert est["instrumentation_sites"] > 0
+        assert est["overhead_pct"] < 5.0
+
+    def test_global_tracer_restored(self):
+        before = obs.TRACER
+        measure_noop_overhead(
+            preset="generic", threads=2, scale=0.02, repeats=1,
+            bench_loops=1_000,
+        )
+        assert obs.TRACER is before
+        assert not obs.TRACER.enabled
+
+
+class TestPhaseBreakdownDoc:
+    def test_run_perf_records_phases(self):
+        doc = run_perf(
+            preset="generic", threads=8, mechanism="IBS", period=512,
+            workloads={"toy": lambda: ToyProgram(n_elems=40_000, steps=2)},
+            phase_breakdown=True,
+        )
+        pb = doc["workloads"]["toy"]["phase_breakdown"]
+        assert {"engine", "sampling", "profiler"} <= set(pb["by_category"])
+        # Acceptance: recorded self-times sum to the traced run's wall
+        # time within 10%.
+        assert pb["total_self_s"] == pytest.approx(pb["wall_s"], rel=0.10)
+        tot = doc["totals"]["phase_breakdown"]
+        assert tot["total_self_s"] == pytest.approx(tot["wall_s"], rel=0.10)
+        # A phase-breakdown run must leave the global tracer untouched.
+        assert not obs.TRACER.enabled
