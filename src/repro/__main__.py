@@ -116,6 +116,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "Soft-IBS"])
     parser.add_argument("--binding", default="compact",
                         choices=["compact", "scatter"])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the monitored run across N worker "
+                        "processes (bit-identical results; falls back to "
+                        "in-process when N=1 or the platform cannot fork)")
     parser.add_argument("--period", type=int, default=None,
                         help="sampling period override")
     parser.add_argument("--scale", type=float, default=1.0,
@@ -198,19 +202,34 @@ def _run(args: argparse.Namespace) -> int:
         baseline = ExecutionEngine(
             machine_factory(), build(), threads, binding=binding
         ).run()
-    profiler = NumaProfiler(mechanism)
-    engine = ExecutionEngine(
-        machine_factory(), build(), threads, monitor=profiler,
-        binding=binding,
-    )
-    with tr.span("cli.monitored_run", "harness"):
-        monitored = engine.run()
+    if args.workers > 1:
+        from repro.parallel import ParallelEngine
+
+        engine = ParallelEngine(
+            machine_factory, build, threads,
+            n_workers=args.workers, binding=binding,
+            monitor_factory=lambda: NumaProfiler(
+                create_mechanism(mech_name, period, **kwargs)
+            ),
+        )
+        with tr.span("cli.monitored_run", "harness"):
+            monitored = engine.run()
+        archive = engine.archive
+    else:
+        profiler = NumaProfiler(mechanism)
+        engine = ExecutionEngine(
+            machine_factory(), build(), threads, monitor=profiler,
+            binding=binding,
+        )
+        with tr.span("cli.monitored_run", "harness"):
+            monitored = engine.run()
+        archive = profiler.archive
     print(f"baseline {baseline.wall_seconds * 1e3:.2f} ms simulated; "
           f"monitoring overhead "
           f"{monitored.wall_seconds / baseline.wall_seconds - 1:+.1%}; "
           f"remote DRAM fraction {baseline.remote_dram_fraction:.0%}\n")
 
-    merged = merge_profiles(profiler.archive)
+    merged = merge_profiles(archive)
     analysis = NumaAnalysis(merged)
     if args.report:
         from repro.analysis import full_report

@@ -170,6 +170,44 @@ def _merge_var(merged: MergedVar, rec: VarRecord, tid: int) -> None:
             per_tid[tid] = (lo, hi)
 
 
+def assemble_shard_archive(
+    shards: list[tuple[dict | None, dict]],
+    run_result=None,
+) -> ProfileArchive:
+    """Reassemble one :class:`ProfileArchive` from shard payloads.
+
+    ``shards`` holds each worker's ``(archive_meta, profiles)`` pair in
+    shard order, where ``archive_meta`` is the metadata dict shipped by
+    ``ShardEngine.finish_run`` and ``profiles`` maps owned tids to
+    :class:`ThreadProfile` objects. Shards own disjoint thread sets, so
+    the union is a plain dict update — duplicate tids mean the shard
+    partition broke and raise. Metadata comes from the first shard that
+    has any (all shards build identical simulated state, so it agrees
+    everywhere); downstream merging orders by sorted tid, making the
+    result independent of shard count.
+    """
+    meta = next((m for m, _ in shards if m is not None), None)
+    if meta is None:
+        raise ProfileError("no shard produced an archive")
+    profiles: dict[int, "object"] = {}
+    for _, shard_profiles in shards:
+        for tid, profile in shard_profiles.items():
+            if tid in profiles:
+                raise ProfileError(
+                    f"thread {tid} profiled by more than one shard"
+                )
+            profiles[tid] = profile
+    return ProfileArchive(
+        program=meta["program"],
+        machine_desc=meta["machine_desc"],
+        n_domains=meta["n_domains"],
+        mechanism_name=meta["mechanism_name"],
+        capabilities=meta["capabilities"],
+        profiles=profiles,
+        run_result=run_result,
+    )
+
+
 def merge_profiles(archive: ProfileArchive) -> MergedProfile:
     """Merge an archive's per-thread profiles (hpcprof's job)."""
     if not archive.profiles:

@@ -277,41 +277,115 @@ def measure_noop_overhead(
     }
 
 
+#: Worker counts measured by ``--workers-sweep``.
+SWEEP_WORKERS = (2, 4)
+
+#: Workloads measured by ``--workers-sweep`` (the two Section-8 case
+#: studies with the largest monitored runtimes).
+SWEEP_WORKLOADS = ("lulesh", "amg")
+
+
+def run_workers_sweep(
+    *,
+    preset: str = "magny_cours",
+    threads: int = 48,
+    mechanism: str = "IBS",
+    period: int = 4096,
+    scale: float = 1.0,
+    workers: tuple[int, ...] = SWEEP_WORKERS,
+    workload_names: tuple[str, ...] = SWEEP_WORKLOADS,
+) -> dict:
+    """Monitored-run throughput vs. worker count (sharded execution).
+
+    Times the serial monitored run and one sharded run per worker count
+    for each workload, recording wall seconds, chunks/s, and the speedup
+    over serial. ``host_cpus`` is recorded alongside because the sweep
+    measures *host* wall time: sharding cannot beat serial on a
+    single-core host (the workers time-slice one CPU and pay IPC on
+    top), so the numbers are only meaningful relative to that field.
+    """
+    import os
+
+    from repro.parallel import ParallelEngine, sharding_supported
+
+    machine_factory = presets.PRESETS[preset]
+    workloads = default_workloads(scale)
+    sweep: dict = {
+        "host_cpus": os.cpu_count(),
+        "sharding_supported": sharding_supported(),
+        "workers": list(workers),
+        "workloads": {},
+    }
+    if not sharding_supported():
+        return sweep
+    for name in workload_names:
+        factory = workloads[name]
+        serial_s, serial_res = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        )
+        entry = {"serial": _rates(serial_s, serial_res)}
+        for n in workers:
+            par = ParallelEngine(
+                machine_factory, factory, threads, n_workers=n,
+                monitor_factory=lambda: NumaProfiler(
+                    create_mechanism(mechanism, period)
+                ),
+                force_sharded=True,
+            )
+            t0 = time.perf_counter()
+            result = par.run()
+            wall_s = time.perf_counter() - t0
+            entry[f"workers_{n}"] = dict(
+                _rates(wall_s, result),
+                speedup_vs_serial=serial_s / wall_s if wall_s else 0.0,
+            )
+        sweep["workloads"][name] = entry
+    return sweep
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> dict:
     """Compare two ``bench-perf/v1`` documents by chunks/s throughput.
 
-    Returns ``{"speedups": ..., "regressions": [...], "ok": bool}`` where
-    a regression is any per-workload or total chunks/s that fell below
-    ``(1 - threshold)`` times the baseline value.
+    Returns ``{"speedups": ..., "regressions": [...], "missing": [...],
+    "ok": bool}`` where a regression is any per-workload or total
+    chunks/s that fell below ``(1 - threshold)`` times the baseline
+    value. Only keys present in *both* documents are compared — the
+    schema grows fields over time (phase breakdowns, workers sweeps) and
+    an older baseline must stay usable, so anything the baseline lacks
+    is listed under ``"missing"`` instead of crashing or counting
+    against the run.
     """
     regressions: list[str] = []
+    missing: list[str] = []
     speedups: dict = {"workloads": {}, "totals": {}}
 
-    def ratio(new: float, old: float) -> float | None:
+    def ratio(new: float, old) -> float | None:
         return new / old if old else None
 
     for mode in ("engine_only", "monitored"):
-        r = ratio(
-            current["totals"][mode]["chunks_per_s"],
-            baseline.get("totals", {}).get(mode, {}).get("chunks_per_s", 0.0),
-        )
+        old = baseline.get("totals", {}).get(mode, {}).get("chunks_per_s")
+        r = ratio(current["totals"][mode]["chunks_per_s"], old)
         speedups["totals"][mode] = r
-        if r is not None and r < 1.0 - threshold:
+        if r is None:
+            missing.append(f"totals/{mode}/chunks_per_s")
+        elif r < 1.0 - threshold:
             regressions.append(
                 f"totals/{mode}: chunks/s fell to {r:.2f}x of baseline"
             )
     for name, entry in current["workloads"].items():
         old_entry = baseline.get("workloads", {}).get(name)
         if old_entry is None:
+            missing.append(f"workloads/{name}")
             continue
         speedups["workloads"][name] = {}
         for mode in ("engine_only", "monitored"):
-            r = ratio(
-                entry[mode]["chunks_per_s"],
-                old_entry.get(mode, {}).get("chunks_per_s", 0.0),
-            )
+            old = old_entry.get(mode, {}).get("chunks_per_s")
+            r = ratio(entry[mode]["chunks_per_s"], old)
             speedups["workloads"][name][mode] = r
-            if r is not None and r < 1.0 - threshold:
+            if r is None:
+                missing.append(f"workloads/{name}/{mode}/chunks_per_s")
+            elif r < 1.0 - threshold:
                 regressions.append(
                     f"{name}/{mode}: chunks/s fell to {r:.2f}x of baseline"
                 )
@@ -319,6 +393,7 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
         "threshold": threshold,
         "speedups": speedups,
         "regressions": regressions,
+        "missing": missing,
         "ok": not regressions,
     }
 
@@ -376,6 +451,25 @@ def render(doc: dict) -> str:
             pb_rows,
             title="phase breakdown — traced monitored runs",
         )
+    sweep = doc.get("workers_sweep")
+    if sweep and sweep.get("workloads"):
+        sweep_rows = []
+        for name, entry in sweep["workloads"].items():
+            row = [name, f"{entry['serial']['wall_s']:.2f}s"]
+            for n in sweep["workers"]:
+                w = entry.get(f"workers_{n}")
+                row.append(
+                    f"{w['wall_s']:.2f}s ({w['speedup_vs_serial']:.2f}x)"
+                    if w else "-"
+                )
+            sweep_rows.append(row)
+        table += "\n\n" + fmt_table(
+            ["workload", "serial"]
+            + [f"{n} workers" for n in sweep["workers"]],
+            sweep_rows,
+            title=f"workers sweep — monitored runs, host has "
+            f"{sweep['host_cpus']} CPU(s)",
+        )
     return table
 
 
@@ -410,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--phase-breakdown", action="store_true",
                         help="add one traced monitored run per workload and "
                         "record per-phase self-times in the output JSON")
+    parser.add_argument("--workers-sweep", action="store_true",
+                        help="also time sharded monitored runs at "
+                        f"{list(SWEEP_WORKERS)} workers on "
+                        f"{list(SWEEP_WORKLOADS)} and record the "
+                        "speedup-vs-workers curve")
     return parser
 
 
@@ -464,6 +563,14 @@ def main(argv: list[str] | None = None) -> int:
         scale=args.scale,
         phase_breakdown=args.phase_breakdown,
     )
+    if args.workers_sweep:
+        doc["workers_sweep"] = run_workers_sweep(
+            preset=args.preset,
+            threads=args.threads,
+            mechanism=args.mechanism,
+            period=args.period,
+            scale=args.scale,
+        )
     noop_ok = True
     if args.check:
         noop = measure_noop_overhead()
@@ -496,11 +603,17 @@ def main(argv: list[str] | None = None) -> int:
     if comparison is None:
         print(f"\nno baseline found — recorded {out} as the new reference")
         return 0 if noop_ok else 1
+
+    def fmt_ratio(r: float | None) -> str:
+        return f"{r:.2f}x" if r is not None else "n/a"
+
     eng = comparison["speedups"]["totals"]["engine_only"]
     mon = comparison["speedups"]["totals"]["monitored"]
     print(f"\nvs baseline {comparison['baseline']}: engine-only "
-          f"{eng:.2f}x, monitored {mon:.2f}x (threshold "
+          f"{fmt_ratio(eng)}, monitored {fmt_ratio(mon)} (threshold "
           f"{comparison['threshold']:.0%} drop)")
+    for key in comparison.get("missing", []):
+        print(f"  warning: baseline lacks {key}; comparison skipped")
     for reg in comparison["regressions"]:
         print(f"  REGRESSION: {reg}")
     return 0 if comparison["ok"] and noop_ok else 1

@@ -40,11 +40,26 @@ _PID = 1
 #: ``t + 1 + _HARNESS_TID`` so thread tracks sort below the harness.
 _HARNESS_TID = 0
 
+#: Chrome tid base for stitched worker-process harness tracks
+#: (``"w<k>"`` from sharded runs) — far above any simulated thread id
+#: so worker tracks sort at the bottom.
+_WORKER_TID_BASE = 100_000
+
 
 def _track_tid(track) -> int:
     if track == "harness":
         return _HARNESS_TID
+    if isinstance(track, str) and track[:1] == "w" and track[1:].isdigit():
+        return _WORKER_TID_BASE + int(track[1:])
     return int(track) + 1 + _HARNESS_TID
+
+
+def _track_name(track) -> str:
+    if track == "harness":
+        return "harness"
+    if isinstance(track, str) and track[:1] == "w" and track[1:].isdigit():
+        return f"worker {track[1:]}"
+    return f"thread {track}"
 
 
 def chrome_trace(tracer: Tracer) -> dict:
@@ -61,7 +76,7 @@ def chrome_trace(tracer: Tracer) -> dict:
     events: list[dict] = []
     for track in tracks:
         tid = _track_tid(track)
-        name = "harness" if track == "harness" else f"thread {track}"
+        name = _track_name(track)
         events.append({
             "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
             "ts": 0, "args": {"name": name},

@@ -124,6 +124,51 @@ class Tracer:
         return time.perf_counter_ns() - self._epoch_ns
 
     # ------------------------------------------------------------------ #
+    # cross-process stitching
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """Snapshot collected telemetry for shipping to another process.
+
+        The returned dict (events, counters, gauges, span aggregates,
+        and this tracer's epoch) is what a worker process sends back so
+        the parent can :meth:`absorb` it into one timeline.
+        """
+        return {
+            "events": list(self.events),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "self_ns": dict(self.self_ns),
+            "total_ns": dict(self.total_ns),
+            "calls": dict(self.calls),
+            "epoch_ns": self._epoch_ns,
+        }
+
+    def absorb(self, state: dict, track_label: str) -> None:
+        """Stitch another process's :meth:`export_state` onto this timeline.
+
+        Timestamps shift by the epoch difference — ``perf_counter_ns``
+        is CLOCK_MONOTONIC on Linux, comparable across processes — so
+        worker spans land at their true wall-clock position. Events on
+        the foreign ``"harness"`` track move to ``track_label`` (e.g.
+        ``"w0"``); numeric simulated-thread tracks keep their ids, which
+        are globally unique because shards own disjoint thread sets.
+        Counters and span aggregates sum; gauges last-write-wins.
+        """
+        shift = state["epoch_ns"] - self._epoch_ns
+        for ph, name, cat, track, ts_ns, args in state["events"]:
+            if track == "harness":
+                track = track_label
+            self.events.append((ph, name, cat, track, ts_ns + shift, args))
+        for key, value in state["counters"].items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        self.gauges.update(state["gauges"])
+        for src_name in ("self_ns", "total_ns", "calls"):
+            dst = getattr(self, src_name)
+            for key, value in state[src_name].items():
+                dst[key] = dst.get(key, 0) + value
+
+    # ------------------------------------------------------------------ #
     # spans
     # ------------------------------------------------------------------ #
 

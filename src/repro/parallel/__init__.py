@@ -1,0 +1,11 @@
+"""Sharded multi-process execution of the simulation + profiler pipeline.
+
+``ParallelEngine`` partitions a program's simulated threads across OS
+worker processes and merges their results into the same
+:class:`~repro.runtime.engine.RunResult` / profile archive a serial run
+produces — bit-identically (see ``docs/MODEL.md``, "Sharded execution").
+"""
+
+from repro.parallel.engine import ParallelEngine, sharding_supported
+
+__all__ = ["ParallelEngine", "sharding_supported"]

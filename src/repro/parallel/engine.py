@@ -1,0 +1,320 @@
+"""Sharded multi-process execution: the parent orchestrator.
+
+:class:`ParallelEngine` partitions a program's simulated threads across
+OS worker processes (``tid % n_workers``) and drives them through the
+same lockstep region/step schedule the serial
+:class:`~repro.runtime.engine.ExecutionEngine` uses, three broadcast
+rounds per region iteration:
+
+1. **generate** — every worker drains its own threads' kernel
+   generators for the iteration and reports per-step chunk/memory
+   counts plus its page-binding events;
+2. **classify** — the parent merges the page events into serial
+   ``(step, tid)`` order and broadcasts them with the globally computed
+   batched-pipeline flags; workers replay the events on replicated page
+   tables and classify their own chunks, reporting per-step DRAM
+   request counts;
+3. **finish** — the parent computes each step's contention inflation
+   from the *merged* per-step domain traffic (so cross-shard contention
+   survives sharding) and broadcasts it; workers compute latencies,
+   deliver monitor callbacks, and account cycles.
+
+The parent then folds worker results exactly the way the serial loop
+does — per-tid cycle streams, ``max`` for barrier semantics, integer
+counter sums, one final per-tid overhead reduction — so a sharded run's
+:class:`RunResult` and profile archive are bit-identical to serial
+(``tests/test_parallel_parity.py``). Worker telemetry is stitched onto
+the parent tracer as ``w<k>`` tracks when tracing is enabled.
+
+Falls back to an ordinary in-process run when ``n_workers == 1`` or the
+platform cannot fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ProgramError
+from repro.runtime.engine import ExecutionEngine, RunResult
+from repro.runtime.heap import HeapAllocator
+from repro.runtime.program import ProgramContext, RegionKind
+from repro.runtime.thread import BindingPolicy, bind_threads
+from repro.parallel.worker import _init_worker, _round_task
+
+
+def sharding_supported() -> bool:
+    """Whether this platform can run the forked worker pool."""
+    return "fork" in mp.get_all_start_methods()
+
+
+class ParallelEngine:
+    """Sharded counterpart of :class:`ExecutionEngine`.
+
+    Takes *factories* rather than instances — every worker process (and
+    the parent's bookkeeping copy) builds its own machine/program/
+    monitor, which fork inheritance makes cheap and keeps simulated
+    state identical across processes.
+
+    After :meth:`run`, ``archive`` holds the assembled
+    :class:`~repro.profiler.profile_data.ProfileArchive` (when a
+    ``monitor_factory`` was given) and ``threads`` the thread binding.
+    """
+
+    def __init__(
+        self,
+        machine_factory,
+        program_factory,
+        n_threads: int,
+        *,
+        n_workers: int,
+        binding: BindingPolicy = BindingPolicy.COMPACT,
+        monitor_factory=None,
+        params: dict | None = None,
+        seed: int = 0,
+        force_sharded: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ProgramError(f"n_workers must be >= 1, got {n_workers}")
+        self.machine_factory = machine_factory
+        self.program_factory = program_factory
+        self.n_threads = int(n_threads)
+        #: Workers beyond the thread count would own empty shards.
+        self.n_workers = min(int(n_workers), self.n_threads)
+        self.binding = binding
+        self.monitor_factory = monitor_factory
+        self.params = params
+        self.seed = seed
+        self.force_sharded = force_sharded
+        self.archive = None
+        self.threads = None
+        self._ran = False
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunResult:
+        """Execute once; serial fallback below 2 workers or without fork."""
+        if self._ran:
+            raise ProgramError("ParallelEngine is single-use; build a new one")
+        self._ran = True
+        log = obs.get_logger("parallel")
+        if self.n_workers == 1 and not self.force_sharded:
+            log.info("n_workers=1: running in-process (serial fallback)")
+            return self._run_inline()
+        if not sharding_supported():
+            log.warning(
+                "platform lacks fork start method; falling back to serial"
+            )
+            return self._run_inline()
+        return self._run_sharded()
+
+    def _run_inline(self) -> RunResult:
+        monitor = (
+            self.monitor_factory() if self.monitor_factory is not None else None
+        )
+        engine = ExecutionEngine(
+            self.machine_factory(),
+            self.program_factory(),
+            self.n_threads,
+            binding=self.binding,
+            monitor=monitor,
+            params=self.params,
+            seed=self.seed,
+        )
+        result = engine.run()
+        self.threads = engine.threads
+        self.archive = getattr(monitor, "archive", None)
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _run_sharded(self) -> RunResult:
+        tr = obs.TRACER
+        if not tr.enabled:
+            return self._orchestrate(tr)
+        tr.begin(
+            "parallel.run", "parallel",
+            workers=self.n_workers, threads=self.n_threads,
+        )
+        try:
+            return self._orchestrate(tr)
+        finally:
+            tr.end()
+
+    def _orchestrate(self, tr) -> RunResult:
+        # Parent bookkeeping copy of the simulated state: regions and
+        # the thread binding (its page table is never consulted).
+        machine = self.machine_factory()
+        program = self.program_factory()
+        threads = bind_threads(machine.topology, self.n_threads, self.binding)
+        ctx = ProgramContext(
+            machine, HeapAllocator(machine), threads, self.params, self.seed
+        )
+        program.setup(ctx)
+        regions = program.regions(ctx)
+        self.threads = threads
+
+        n_workers = self.n_workers
+        mp_ctx = mp.get_context("fork")
+        claim = mp_ctx.Queue()
+        for k in range(n_workers):
+            claim.put(k)
+        barrier = mp_ctx.Barrier(n_workers)
+        spec = (
+            self.machine_factory, self.program_factory, self.n_threads,
+            self.binding, self.monitor_factory, self.params, self.seed,
+            n_workers,
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=mp_ctx,
+            initializer=_init_worker,
+            initargs=(claim, barrier, spec),
+        )
+        try:
+            result = self._drive(executor, machine, program, threads, regions)
+        finally:
+            executor.shutdown()
+        return result
+
+    def _round(self, executor, method: str, *args) -> list:
+        """Broadcast one round to all workers; results in shard order."""
+        futures = [
+            executor.submit(_round_task, method, args)
+            for _ in range(self.n_workers)
+        ]
+        results = sorted(f.result() for f in futures)
+        return [payload for _shard, payload in results]
+
+    def _drive(self, executor, machine, program, threads, regions) -> RunResult:
+        n_regions = self._round(executor, "start")
+        if any(n != len(regions) for n in n_regions):
+            raise ProgramError(
+                "worker/parent region lists diverged: "
+                f"parent has {len(regions)}, workers report {n_regions}"
+            )
+
+        n_domains = machine.n_domains
+        busy = np.zeros(len(threads), dtype=np.float64)
+        total_instructions = 0
+        total_accesses = 0
+        total_chunks = 0
+        dram_accesses = 0
+        remote_dram = 0
+        wall = 0.0
+        region_wall: dict[str, float] = {}
+        domain_requests = np.zeros(n_domains, dtype=np.int64)
+        domain_traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
+        batch_limit = ExecutionEngine.BATCH_MEAN_ACCESSES
+
+        for r_idx, region in enumerate(regions):
+            active = (
+                threads
+                if region.kind is RegionKind.PARALLEL
+                else threads[:1]
+            )
+            for iteration in range(region.repeat):
+                gen = self._round(executor, "gen_iteration", r_idx, iteration)
+                n_steps = max((g["n_chunks"].size for g in gen), default=0)
+                n_active = np.zeros(n_steps, dtype=np.int64)
+                n_mem = np.zeros(n_steps, dtype=np.int64)
+                acc_sum = np.zeros(n_steps, dtype=np.int64)
+                events: list[tuple] = []
+                for g in gen:
+                    k = g["n_chunks"].size
+                    n_active[:k] += g["n_chunks"]
+                    n_mem[:k] += g["n_mem"]
+                    acc_sum[:k] += g["acc_sum"]
+                    events.extend(g["events"])
+                # Serial (step, tid) order: the order the one-process
+                # engine would deliver traps and first touches in.
+                events.sort(key=lambda e: (e[0], e[1]))
+                # The serial engine's global pipeline decision, from
+                # merged integer totals — broadcast so every worker
+                # takes the same float-summation path.
+                batched_flags = [
+                    bool(n_mem[s]) and int(acc_sum[s]) <= batch_limit * int(n_mem[s])
+                    for s in range(n_steps)
+                ]
+
+                requests = self._round(
+                    executor, "classify_iteration",
+                    events, batched_flags, n_steps,
+                )
+                step_requests = sum(requests) if requests else np.zeros(
+                    (n_steps, n_domains), dtype=np.int64
+                )
+                # Contention from *merged* per-step domain traffic:
+                # cross-shard effects survive sharding.
+                inflation = np.ones((n_steps, n_domains), dtype=np.float64)
+                for s in range(n_steps):
+                    inflation[s] = machine.contention.inflation(
+                        step_requests[s], int(n_active[s])
+                    )
+
+                fin = self._round(executor, "finish_iteration", inflation)
+                region_cycles: dict[int, float] = {}
+                for f in fin:
+                    region_cycles.update(f["region_cycles"])
+                    total_instructions += f["instructions"]
+                    total_accesses += f["accesses"]
+                    total_chunks += f["chunks"]
+                    dram_accesses += f["dram"]
+                    remote_dram += f["remote_dram"]
+                    domain_traffic += f["traffic"]
+                if n_steps:
+                    domain_requests += step_requests.sum(axis=0)
+
+                elapsed = max(region_cycles.values()) if region_cycles else 0.0
+                for t in active:
+                    busy[t.tid] += region_cycles[t.tid]
+                wall += elapsed
+                region_wall[region.name] = (
+                    region_wall.get(region.name, 0.0) + elapsed
+                )
+
+        final = self._round(executor, "finish_run")
+        overhead_by_tid = np.zeros(len(threads), dtype=np.float64)
+        for payload in final:
+            for tid, value in payload["overhead_by_tid"].items():
+                overhead_by_tid[tid] = value
+
+        result = RunResult(
+            program=program.name,
+            n_threads=len(threads),
+            wall_cycles=wall,
+            thread_busy_cycles=busy,
+            total_instructions=total_instructions,
+            total_accesses=total_accesses,
+            dram_accesses=dram_accesses,
+            remote_dram_accesses=remote_dram,
+            monitor_overhead_cycles=float(overhead_by_tid.sum()),
+            region_wall_cycles=region_wall,
+            domain_dram_requests=domain_requests,
+            domain_traffic=domain_traffic,
+            ghz=machine.ghz,
+            total_chunks=total_chunks,
+        )
+
+        if self.monitor_factory is not None:
+            from repro.analysis.merge import assemble_shard_archive
+
+            self.archive = assemble_shard_archive(
+                [
+                    (p["archive_meta"], p["profiles"])
+                    for p in final
+                ],
+                run_result=result,
+            )
+
+        tr = obs.TRACER
+        if tr.enabled:
+            for shard, payload in enumerate(final):
+                state = payload.get("telemetry")
+                if state is not None:
+                    tr.absorb(state, f"w{shard}")
+
+        return result

@@ -1,0 +1,372 @@
+"""Shard worker: one process's slice of a sharded execution.
+
+A :class:`ShardEngine` owns the simulated threads with
+``tid % n_shards == shard_id`` and runs the full engine pipeline —
+chunk generation, page-trap delivery, classification, latency,
+``select_step`` sampling, deferred accumulation — for exactly that
+slice, using the phase methods the serial
+:class:`~repro.runtime.engine.ExecutionEngine` was factored into.
+
+Determinism contract (the reason serial and sharded runs are
+bit-identical, enforced by ``tests/test_parallel_parity.py``):
+
+* every worker builds the *same* simulated state from the parent's
+  factories (machine, program, heap layout, thread binding), so
+  addresses and segments agree across processes;
+* page-table mutations are **replicated**: each region iteration's
+  first-touch/unprotect events from every shard are merged by the
+  parent, sorted into serial ``(step, tid)`` order, and replayed by
+  every worker against its own page-table copy — so placement lookups
+  (``seg.domains``) agree everywhere, while only the owning shard
+  attributes the trap to its monitor;
+* global per-step decisions (the batched-vs-summary pipeline flag and
+  the contention inflation computed from merged per-step domain
+  traffic) are computed by the parent from merged integer counts and
+  broadcast, so every worker takes the same float-summation path the
+  serial engine would;
+* per-thread state (sampling carries, per-thread RNG streams, profiler
+  accumulator rows, cycle/overhead accumulation) is keyed by tid and
+  never crosses shards.
+
+The worker protocol runs three rounds per region iteration —
+``gen_iteration`` → ``classify_iteration`` → ``finish_iteration`` —
+plus ``start`` once before the first region and ``finish_run`` once
+after the last (see :mod:`repro.parallel.engine`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.runtime.engine import ExecutionEngine, _StepMem
+from repro.runtime.program import RegionKind
+from repro.units import fast_unique
+
+
+#: Seconds a worker waits for its siblings at the per-round barrier
+#: before declaring the round broken (a sibling died or hung).
+_BARRIER_TIMEOUT_S = 600.0
+
+#: Per-process worker state installed by :func:`_init_worker`.
+_WORKER: dict = {}
+
+
+class ShardEngine(ExecutionEngine):
+    """An :class:`ExecutionEngine` driving only one shard of threads.
+
+    The parent never calls :meth:`run`; it drives the round methods
+    below, one region iteration at a time, broadcasting merged global
+    state between rounds.
+    """
+
+    def __init__(
+        self,
+        machine,
+        program,
+        n_threads: int,
+        *,
+        shard_id: int,
+        n_shards: int,
+        **kwargs,
+    ) -> None:
+        super().__init__(machine, program, n_threads, **kwargs)
+        self.shard_id = int(shard_id)
+        self.n_shards = int(n_shards)
+        self._regions = None
+        self._overhead_by_tid = np.zeros(len(self.threads), dtype=np.float64)
+        self._iter_steps: list | None = None
+        self._iter_states: list | None = None
+        self._iter_owned: list | None = None
+        self._iter_region = None
+
+    def owns(self, tid: int) -> bool:
+        """Whether this shard executes (and attributes) thread ``tid``."""
+        return tid % self.n_shards == self.shard_id
+
+    # ------------------------------------------------------------------ #
+    # rounds
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> int:
+        """Run-start: monitor hookup + program setup; returns #regions."""
+        if self.monitor is not None:
+            self.heap.add_monitor(self.monitor)
+            self.monitor.on_run_start(self)
+        self.program.setup(self.ctx)
+        self._regions = self.program.regions(self.ctx)
+        return len(self._regions)
+
+    def gen_iteration(self, region_idx: int, iteration: int) -> dict:
+        """Round A: drain this shard's generators for one iteration.
+
+        Enters the region for owned threads, pre-draws every lockstep
+        step's chunks, and returns per-step chunk/memory counts plus the
+        shard's page events — ``(step, tid, cpu, var_name, pages, ip)``
+        for each memory chunk whose segment still had protected or
+        unbound pages when generation ran. That counter check is a
+        conservative superset of the serial engine's step-time check
+        (the counters only decrease within an iteration); replay applies
+        the exact step-time check, so bind/trap decisions match serial
+        exactly.
+        """
+        region = self._regions[region_idx]
+        active = (
+            self.threads
+            if region.kind is RegionKind.PARALLEL
+            else self.threads[:1]
+        )
+        owned = [t for t in active if self.owns(t.tid)]
+        for t in owned:
+            self.callstacks[t.tid].push(region.src)
+            if self.monitor is not None:
+                self.monitor.on_region_enter(t.tid, region, iteration)
+        iters = {t.tid: iter(region.kernel(self.ctx, t.tid)) for t in owned}
+
+        steps: list[list] = []
+        while iters:
+            step = []
+            for t in owned:
+                if t.tid not in iters:
+                    continue
+                try:
+                    step.append((t, next(iters[t.tid])))
+                except StopIteration:
+                    del iters[t.tid]
+            if not step:
+                break
+            steps.append(step)
+
+        page_size = self.machine.page_size
+        n_chunks = np.zeros(len(steps), dtype=np.int64)
+        n_mem = np.zeros(len(steps), dtype=np.int64)
+        acc_sum = np.zeros(len(steps), dtype=np.int64)
+        events: list[tuple] = []
+        for s, step in enumerate(steps):
+            n_chunks[s] = len(step)
+            for t, chunk in step:
+                if chunk.var is None or not chunk.n_accesses:
+                    continue
+                n_mem[s] += 1
+                acc_sum[s] += chunk.n_accesses
+                seg = chunk.var.segment
+                if seg.n_protected or seg.n_unbound:
+                    pages = fast_unique(chunk.addrs // page_size)
+                    events.append(
+                        (s, t.tid, t.cpu, chunk.var.name, pages, chunk.ip)
+                    )
+
+        self._iter_steps = steps
+        self._iter_owned = owned
+        self._iter_region = (region, iteration)
+        return {
+            "n_chunks": n_chunks,
+            "n_mem": n_mem,
+            "acc_sum": acc_sum,
+            "events": events,
+        }
+
+    def classify_iteration(
+        self, events: list[tuple], batched_flags, n_steps: int
+    ) -> np.ndarray:
+        """Round B: replay merged page events + classify own chunks.
+
+        ``events`` is every shard's page events merged and sorted into
+        serial ``(step, tid)`` order; ``batched_flags`` is the parent's
+        globally computed pipeline flag per step. For each step the
+        worker first replays that step's page events on its replicated
+        page table (attributing traps only for owned tids), then
+        classifies its own chunks — the same page-state-then-classify
+        ordering the serial step uses. Returns the shard's per-step
+        DRAM request matrix ``(n_steps, n_domains)``.
+        """
+        steps = self._iter_steps
+        n_domains = self.machine.n_domains
+        requests = np.zeros((n_steps, n_domains), dtype=np.int64)
+        states: list[_StepMem] = []
+        ev_i = 0
+        n_events = len(events)
+        for s in range(n_steps):
+            trap_by_tid: dict[int, float] = {}
+            while ev_i < n_events and events[ev_i][0] == s:
+                _, tid, cpu, var_name, pages, ip = events[ev_i]
+                ev_i += 1
+                owned = self.owns(tid)
+                cost = self._apply_page_event(
+                    tid, cpu, self.ctx.var(var_name), pages, ip,
+                    attribute=owned,
+                )
+                if owned:
+                    trap_by_tid[tid] = cost
+
+            step = steps[s] if s < len(steps) else []
+            st = _StepMem()
+            st.n_active = len(step)
+            st.trap_costs = [0.0] * len(step)
+            st.mem_idx = []
+            for i, (t, chunk) in enumerate(step):
+                if chunk.var is None or not chunk.n_accesses:
+                    continue
+                st.mem_idx.append(i)
+                st.trap_costs[i] = trap_by_tid.get(t.tid, 0.0)
+            self._classify_phase(step, st, batched=bool(batched_flags[s]))
+            requests[s] = st.step_requests
+            states.append(st)
+        self._iter_states = states
+        return requests
+
+    def finish_iteration(self, inflation: np.ndarray) -> dict:
+        """Round C: latency, monitoring, and accounting under the
+        parent's merged per-step inflation matrix.
+
+        Returns the shard's per-tid region cycles plus integer counters
+        and the DRAM traffic matrix for this iteration.
+        """
+        region, iteration = self._iter_region
+        steps = self._iter_steps
+        region_cycles = {t.tid: 0.0 for t in self._iter_owned}
+        instructions = 0
+        accesses = 0
+        chunks = 0
+        dram = 0
+        remote_dram = 0
+        n_domains = self.machine.n_domains
+        traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
+
+        for s, st in enumerate(self._iter_states):
+            step = steps[s] if s < len(steps) else []
+            if not step:
+                continue
+            self._latency_phase(st, inflation[s])
+            costs = self._monitor_phase(step, st)
+            ins, acc = self._account_phase(
+                step, st, costs, region_cycles, self._overhead_by_tid
+            )
+            instructions += ins
+            accesses += acc
+            chunks += len(step)
+            dram += st.dram
+            remote_dram += st.remote_dram
+            traffic += st.traffic
+
+        for t in self._iter_owned:
+            if self.monitor is not None:
+                self.monitor.on_region_exit(t.tid, region, iteration)
+            self.callstacks[t.tid].pop()
+        self._iter_steps = None
+        self._iter_states = None
+        self._iter_owned = None
+        self._iter_region = None
+        return {
+            "region_cycles": region_cycles,
+            "instructions": instructions,
+            "accesses": accesses,
+            "chunks": chunks,
+            "dram": dram,
+            "remote_dram": remote_dram,
+            "traffic": traffic,
+        }
+
+    def finish_run(self) -> dict:
+        """Final round: flush the monitor and ship this shard's results.
+
+        The archive metadata shell travels alongside the owned
+        :class:`ThreadProfile` objects so the parent can assemble one
+        :class:`ProfileArchive` (see ``analysis.merge.
+        assemble_shard_archive``); the monitor flushes with
+        ``result=None`` because only the parent can compute the merged
+        :class:`RunResult`.
+        """
+        if self.monitor is not None:
+            self.monitor.on_run_end(None)
+        payload: dict = {
+            "overhead_by_tid": {
+                t.tid: float(self._overhead_by_tid[t.tid])
+                for t in self.threads
+                if self.owns(t.tid)
+            },
+            "archive_meta": None,
+            "profiles": {},
+            "telemetry": None,
+        }
+        archive = getattr(self.monitor, "archive", None)
+        if archive is not None:
+            payload["archive_meta"] = {
+                "program": archive.program,
+                "machine_desc": archive.machine_desc,
+                "n_domains": archive.n_domains,
+                "mechanism_name": archive.mechanism_name,
+                "capabilities": archive.capabilities,
+            }
+            payload["profiles"] = {
+                tid: prof
+                for tid, prof in archive.profiles.items()
+                if self.owns(tid)
+            }
+        tr = obs.TRACER
+        if tr.enabled:
+            payload["telemetry"] = tr.export_state()
+        return payload
+
+
+# ---------------------------------------------------------------------- #
+# process-pool plumbing
+# ---------------------------------------------------------------------- #
+
+
+def _init_worker(claim_queue, barrier, spec) -> None:
+    """Pool initializer: claim a shard id and build this shard's engine.
+
+    Runs once per worker process. The claim queue hands out shard ids
+    atomically; the barrier is stored for round dispatch (see
+    :func:`_round_task`). Factories arrive by fork inheritance, so they
+    need not be picklable.
+    """
+    shard = claim_queue.get()
+    tr = obs.TRACER
+    if tr.enabled:
+        # The forked tracer carries the parent's events; restart it so
+        # this process records only its own, on its own epoch (shifted
+        # back onto the parent timeline at stitch time).
+        tr.enable(clear=True)
+    (
+        machine_factory, program_factory, n_threads, binding,
+        monitor_factory, params, seed, n_shards,
+    ) = spec
+    monitor = monitor_factory() if monitor_factory is not None else None
+    engine = ShardEngine(
+        machine_factory(),
+        program_factory(),
+        n_threads,
+        shard_id=shard,
+        n_shards=n_shards,
+        binding=binding,
+        monitor=monitor,
+        params=params,
+        seed=seed,
+    )
+    _WORKER["engine"] = engine
+    _WORKER["shard"] = shard
+    _WORKER["barrier"] = barrier
+
+
+def _round_task(method: str, args: tuple):
+    """One worker's share of a broadcast round.
+
+    The parent submits exactly ``n_shards`` of these per round; the
+    barrier makes every worker process take exactly one (a process can
+    only pass the barrier while holding a task, so N simultaneous
+    holders means N distinct processes). Results carry the shard id so
+    the parent can order them deterministically.
+    """
+    _WORKER["barrier"].wait(timeout=_BARRIER_TIMEOUT_S)
+    engine: ShardEngine = _WORKER["engine"]
+    tr = obs.TRACER
+    # finish_run snapshots the telemetry itself, so wrapping it in a
+    # span would export that span still open (a dangling B event).
+    if tr.enabled and method != "finish_run":
+        with tr.span(f"shard.{method}", "shard"):
+            payload = getattr(engine, method)(*args)
+    else:
+        payload = getattr(engine, method)(*args)
+    return _WORKER["shard"], payload

@@ -67,6 +67,10 @@ class NumaProfiler(Monitor):
         the run ends. ``deferred=False`` keeps the historical per-chunk
         immediate-attribution path; the two produce identical archives
         (see ``tests/test_profiler_batched.py``).
+    seed:
+        Base seed for the mechanism's per-thread jitter streams
+        (forwarded to :meth:`SamplingMechanism.configure`); sharded and
+        serial runs must use the same value to stay bit-identical.
     """
 
     #: Trap-handler cost per faulting page (attribution + re-mprotect),
@@ -83,6 +87,7 @@ class NumaProfiler(Monitor):
         protect_static: bool = False,
         protect_stack: bool = False,
         deferred: bool = True,
+        seed: int = 0x1B5,
     ) -> None:
         self.mechanism = mechanism
         self.n_bins = n_bins
@@ -90,6 +95,7 @@ class NumaProfiler(Monitor):
         self.protect_static = protect_static
         self.protect_stack = protect_stack
         self.deferred = deferred
+        self.seed = int(seed)
         self.registry = VariableRegistry()
         self.archive: ProfileArchive | None = None
         self._engine: ExecutionEngine | None = None
@@ -102,7 +108,7 @@ class NumaProfiler(Monitor):
         """Configure the mechanism and allocate per-thread profiles."""
         self._engine = engine
         machine = engine.machine
-        self.mechanism.configure(machine)
+        self.mechanism.configure(machine, seed=self.seed)
         self.archive = ProfileArchive(
             program=engine.program.name,
             machine_desc=machine.describe(),

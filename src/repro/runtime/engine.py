@@ -244,6 +244,38 @@ class LazyChunkView:
         return targets, remote, lat
 
 
+class _StepMem:
+    """Per-step memory-system products carried between engine phases.
+
+    The serial engine runs page traps → classification → latency →
+    monitor → accounting back to back inside one step; the sharded
+    engine (:mod:`repro.parallel`) runs the same phases in separate
+    communication rounds — classification once the merged page state is
+    ready, latency once the parent has the step's *global* contention
+    inflation — so the intermediate products live in an explicit bundle
+    rather than local variables. Lists indexed ``k`` run over the step's
+    memory chunks (``mem_idx[k]`` maps back to step position ``i``);
+    ``trap_costs`` / ``lat_sums`` are indexed by step position.
+    """
+
+    __slots__ = (
+        "n_active", "mem_idx", "mem", "trap_costs",
+        "lengths", "starts", "interleaved", "batched",
+        "cls", "targets_cat", "dram_cat",
+        "summaries", "fetch_idx", "dram_targets",
+        "step_requests",
+        "lat_sums", "dram", "remote_dram", "traffic",
+        "chunk_levels", "chunk_targets", "chunk_seq",
+        "chunk_lat", "chunk_dram", "chunk_remote",
+    )
+
+    def __init__(self) -> None:
+        self.batched = False
+        self.mem = []
+        self.dram = 0
+        self.remote_dram = 0
+
+
 class Monitor:
     """No-op monitoring interface; the profiler subclasses this.
 
@@ -422,7 +454,11 @@ class ExecutionEngine:
             regions = self.program.regions(self.ctx)
 
         busy = np.zeros(len(self.threads), dtype=np.float64)
-        overhead = 0.0
+        # Overhead accumulates per thread and reduces once at the end:
+        # each tid's partial sum involves only that thread's own chunks
+        # in step order, so a sharded run (which accumulates the same
+        # per-tid sequences in worker processes) reduces bit-identically.
+        overhead_by_tid = np.zeros(len(self.threads), dtype=np.float64)
         total_instructions = 0
         total_accesses = 0
         total_chunks = 0
@@ -471,11 +507,14 @@ class ExecutionEngine:
 
                     if traced:
                         tr.begin("engine.step", "engine")
-                        stats = self._execute_step(step, region_cycles)
+                        stats = self._execute_step(
+                            step, region_cycles, overhead_by_tid
+                        )
                         tr.end()
                     else:
-                        stats = self._execute_step(step, region_cycles)
-                    overhead += stats["overhead"]
+                        stats = self._execute_step(
+                            step, region_cycles, overhead_by_tid
+                        )
                     total_instructions += stats["instructions"]
                     total_accesses += stats["accesses"]
                     total_chunks += len(step)
@@ -515,7 +554,7 @@ class ExecutionEngine:
             total_accesses=total_accesses,
             dram_accesses=dram_accesses,
             remote_dram_accesses=remote_dram,
-            monitor_overhead_cycles=overhead,
+            monitor_overhead_cycles=float(overhead_by_tid.sum()),
             region_wall_cycles=region_wall,
             domain_dram_requests=domain_requests,
             domain_traffic=domain_traffic,
@@ -532,6 +571,7 @@ class ExecutionEngine:
         self,
         step: list[tuple[SimThread, AccessChunk]],
         region_cycles: dict[int, float],
+        overhead_by_tid: np.ndarray,
     ) -> dict:
         """Run one lockstep set of chunks through the memory system.
 
@@ -548,124 +588,212 @@ class ExecutionEngine:
         served by :class:`LazyChunkView` so full per-access arrays are
         reconstructed only if a monitor actually reads them. Both paths
         compute identical per-access values.
+
+        The phases are factored into ``_page_phase`` / ``_classify_phase``
+        / ``_latency_phase`` / ``_monitor_phase`` / ``_account_phase`` so
+        the sharded engine can drive them across communication rounds;
+        this method is the serial orchestration.
         """
-        machine = self.machine
-        page_size = machine.page_size
-        n_domains = machine.n_domains
-        n_active = len(step)
         tr = obs.TRACER
         traced = tr.enabled
         if traced:
             tr.count("engine.steps")
-            tr.count("engine.chunks", n_active)
+            tr.count("engine.chunks", len(step))
             tr.begin("engine.page_traps", "engine")
 
-        # ---- phase 1: ordered page-protection traps + first touches ---- #
-        trap_costs = [0.0] * n_active
-        mem_idx: list[int] = []  # positions in `step` with memory traffic
-        for i, (t, chunk) in enumerate(step):
-            if chunk.var is None or not chunk.n_accesses:
-                continue
-            mem_idx.append(i)
-            seg = chunk.var.segment
-            if seg.n_protected == 0 and seg.n_unbound == 0:
-                continue  # fast path: nothing left to trap or bind
-            pages = fast_unique(chunk.addrs // page_size)
-            if seg.n_protected:
-                prot = machine.page_table.protected_mask(pages)
-                if np.any(prot):
-                    trapped = pages[prot]
-                    cost = self.TRAP_BASE_COST * trapped.size
-                    if self.monitor is not None:
-                        path = self.callstacks[t.tid].with_leaf(chunk.ip)
-                        cost += self.monitor.on_first_touch(
-                            t.tid, t.cpu, chunk.var, trapped, path
-                        )
-                    machine.page_table.unprotect_pages(trapped)
-                    trap_costs[i] = cost
-            if seg.n_unbound:
-                machine.page_table.touch_pages(pages, t.cpu)
+        st = self._page_phase(step)
 
         if traced:
             tr.end()
             tr.begin("engine.classify", "engine")
 
-        # ---- phase 2: classification / placement (batched or per-chunk) -- #
-        n_mem = len(mem_idx)
-        step_requests = np.zeros(n_domains, dtype=np.int64)
-        batched = False
-        chunk_levels: list = [None] * n_mem
-        chunk_targets: list = [None] * n_mem
-        chunk_seq: list = [False] * n_mem
-        if n_mem:
-            mem = [step[i] for i in mem_idx]
-            lengths = np.array([c.n_accesses for _, c in mem], dtype=np.int64)
-            interleaved = [
-                c.var.segment.policy is PlacementPolicy.INTERLEAVE
-                for _, c in mem
-            ]
-            batched = int(lengths.sum()) <= self.BATCH_MEAN_ACCESSES * n_mem
-            if batched:
-                starts = np.zeros(n_mem + 1, dtype=np.int64)
-                np.cumsum(lengths, out=starts[1:])
-                addrs_cat = np.concatenate([c.addrs for _, c in mem])
-                cls, targets_cat = machine.classify_step(
-                    addrs_cat,
-                    starts,
-                    [t.cpu for t, _ in mem],
-                    [c.var.segment for _, c in mem],
-                )
-                dram_cat = cls.levels == LEVEL_DRAM
-                step_requests = np.bincount(
-                    targets_cat[dram_cat], minlength=n_domains
-                ).astype(np.int64)
-            else:
-                # Large-chunk summary path: classify down to the
-                # line-fetch mask and touch per-access data only on the
-                # fetch subset (every non-fetch access hits L1, and only
-                # DRAM-level fetches have NUMA-relevant placement).
-                # Monitors see these chunks through lazy views that
-                # reconstruct full per-access arrays on demand.
-                summaries = [None] * n_mem
-                dram_targets: list = [None] * n_mem
-                fetch_idx: list = [None] * n_mem
-                for k, (t, c) in enumerate(mem):
-                    seg = c.var.segment
-                    summ = machine.cache.classify_summary(
-                        c.addrs, t.cpu, seg.seg_id
-                    )
-                    summaries[k] = summ
-                    if summ.fetch_level == LEVEL_DRAM:
-                        fidx = np.nonzero(summ.fetch)[0]
-                        tgt = seg.domains[
-                            c.addrs[fidx] // page_size - seg.start_page
-                        ]
-                        fetch_idx[k] = fidx
-                        dram_targets[k] = tgt
-                        step_requests += np.bincount(tgt, minlength=n_domains)
+        self._classify_phase(step, st)
 
         if traced:
-            if n_mem:
+            if st.mem_idx:
                 tr.count(
-                    "engine.steps_batched" if batched
+                    "engine.steps_batched" if st.batched
                     else "engine.steps_summary"
                 )
             tr.end()
             tr.begin("engine.latency", "engine")
 
-        inflation = machine.contention.inflation(step_requests, n_active)
+        inflation = self.machine.contention.inflation(
+            st.step_requests, st.n_active
+        )
+        self._latency_phase(st, inflation)
 
-        # ---- latency + DRAM/traffic accounting under step inflation ---- #
-        dram = 0
-        remote_dram = 0
-        traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
-        lat_sums = [0.0] * n_active
+        if traced:
+            tr.end()
+
+        costs = self._monitor_phase(step, st)
+        instructions, accesses = self._account_phase(
+            step, st, costs, region_cycles, overhead_by_tid
+        )
+
+        return {
+            "instructions": instructions,
+            "accesses": accesses,
+            "dram": st.dram,
+            "remote_dram": st.remote_dram,
+            "domain_requests": st.step_requests,
+            "domain_traffic": st.traffic,
+        }
+
+    def _apply_page_event(
+        self,
+        tid: int,
+        cpu: int,
+        var: Variable,
+        pages: np.ndarray,
+        ip: "SourceLoc",
+        *,
+        attribute: bool = True,
+    ) -> float:
+        """Deliver pending page work for one chunk's unique page set.
+
+        Handles protection traps (unprotect + optional monitor
+        attribution) and first-touch binding, returning the trap cost in
+        cycles. ``attribute=False`` applies the page-table state changes
+        without involving the monitor — the sharded engine's replay of
+        *other* shards' page events, which must update every worker's
+        replicated page table but be attributed only by the owner.
+        """
+        machine = self.machine
+        seg = var.segment
+        if seg.n_protected == 0 and seg.n_unbound == 0:
+            return 0.0  # fast path: nothing left to trap or bind
+        cost = 0.0
+        if seg.n_protected:
+            prot = machine.page_table.protected_mask(pages)
+            if np.any(prot):
+                trapped = pages[prot]
+                cost = self.TRAP_BASE_COST * trapped.size
+                if attribute and self.monitor is not None:
+                    path = self.callstacks[tid].with_leaf(ip)
+                    cost += self.monitor.on_first_touch(
+                        tid, cpu, var, trapped, path
+                    )
+                machine.page_table.unprotect_pages(trapped)
+        if seg.n_unbound:
+            machine.page_table.touch_pages(pages, cpu)
+        return cost
+
+    def _page_phase(
+        self, step: list[tuple[SimThread, AccessChunk]]
+    ) -> _StepMem:
+        """Ordered page-protection traps + first touches for one step."""
+        page_size = self.machine.page_size
+        st = _StepMem()
+        st.n_active = len(step)
+        st.trap_costs = [0.0] * st.n_active
+        st.mem_idx = []  # positions in `step` with memory traffic
+        for i, (t, chunk) in enumerate(step):
+            if chunk.var is None or not chunk.n_accesses:
+                continue
+            st.mem_idx.append(i)
+            seg = chunk.var.segment
+            if seg.n_protected == 0 and seg.n_unbound == 0:
+                continue
+            pages = fast_unique(chunk.addrs // page_size)
+            st.trap_costs[i] = self._apply_page_event(
+                t.tid, t.cpu, chunk.var, pages, chunk.ip
+            )
+        return st
+
+    def _classify_phase(
+        self,
+        step: list[tuple[SimThread, AccessChunk]],
+        st: _StepMem,
+        batched: bool | None = None,
+    ) -> None:
+        """Classification / placement (batched or per-chunk summary).
+
+        ``batched=None`` decides from this step's own totals (serial);
+        the sharded engine passes the parent's globally computed flag so
+        every worker takes the same float-summation path.
+        """
+        machine = self.machine
+        page_size = machine.page_size
+        n_domains = machine.n_domains
+        n_mem = len(st.mem_idx)
+        st.step_requests = np.zeros(n_domains, dtype=np.int64)
+        st.chunk_levels = [None] * n_mem
+        st.chunk_targets = [None] * n_mem
+        st.chunk_seq = [False] * n_mem
+        if not n_mem:
+            st.mem = []
+            return
+        mem = st.mem = [step[i] for i in st.mem_idx]
+        lengths = st.lengths = np.array(
+            [c.n_accesses for _, c in mem], dtype=np.int64
+        )
+        st.interleaved = [
+            c.var.segment.policy is PlacementPolicy.INTERLEAVE
+            for _, c in mem
+        ]
+        if batched is None:
+            batched = int(lengths.sum()) <= self.BATCH_MEAN_ACCESSES * n_mem
+        st.batched = batched
+        if batched:
+            starts = st.starts = np.zeros(n_mem + 1, dtype=np.int64)
+            np.cumsum(lengths, out=starts[1:])
+            addrs_cat = np.concatenate([c.addrs for _, c in mem])
+            st.cls, st.targets_cat = machine.classify_step(
+                addrs_cat,
+                starts,
+                [t.cpu for t, _ in mem],
+                [c.var.segment for _, c in mem],
+            )
+            st.dram_cat = st.cls.levels == LEVEL_DRAM
+            st.step_requests = np.bincount(
+                st.targets_cat[st.dram_cat], minlength=n_domains
+            ).astype(np.int64)
+        else:
+            # Large-chunk summary path: classify down to the line-fetch
+            # mask and touch per-access data only on the fetch subset
+            # (every non-fetch access hits L1, and only DRAM-level
+            # fetches have NUMA-relevant placement). Monitors see these
+            # chunks through lazy views that reconstruct full per-access
+            # arrays on demand.
+            st.summaries = [None] * n_mem
+            st.dram_targets = [None] * n_mem
+            st.fetch_idx = [None] * n_mem
+            for k, (t, c) in enumerate(mem):
+                seg = c.var.segment
+                summ = machine.cache.classify_summary(
+                    c.addrs, t.cpu, seg.seg_id
+                )
+                st.summaries[k] = summ
+                if summ.fetch_level == LEVEL_DRAM:
+                    fidx = np.nonzero(summ.fetch)[0]
+                    tgt = seg.domains[
+                        c.addrs[fidx] // page_size - seg.start_page
+                    ]
+                    st.fetch_idx[k] = fidx
+                    st.dram_targets[k] = tgt
+                    st.step_requests += np.bincount(tgt, minlength=n_domains)
+
+    def _latency_phase(self, st: _StepMem, inflation) -> None:
+        """Latency + DRAM/traffic accounting under step inflation."""
+        machine = self.machine
+        n_domains = machine.n_domains
+        n_mem = len(st.mem_idx)
+        st.dram = 0
+        st.remote_dram = 0
+        st.traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
+        st.lat_sums = [0.0] * st.n_active
         #: Batched path: per-chunk slices of the step's latency array.
         #: Large-chunk path: DRAM fetch-latency subsets for lazy views.
-        chunk_lat: list = [None] * n_mem
-        chunk_dram: list = [None] * n_mem
-        chunk_remote: list = [None] * n_mem
-        if n_mem and batched:
+        st.chunk_lat = [None] * n_mem
+        st.chunk_dram = [None] * n_mem
+        st.chunk_remote = [None] * n_mem
+        if n_mem and st.batched:
+            mem = st.mem
+            starts = st.starts
+            cls = st.cls
+            targets_cat = st.targets_cat
+            dram_cat = st.dram_cat
             acc_domains = np.array([t.domain for t, _ in mem], dtype=np.int64)
             lat_cat = machine.step_access_latency(
                 cls.levels,
@@ -674,46 +802,46 @@ class ExecutionEngine:
                 starts,
                 inflation,
                 cls.sequential,
-                np.array(interleaved, dtype=bool),
+                np.array(st.interleaved, dtype=bool),
             )
-            acc_rep = np.repeat(acc_domains, lengths)
+            acc_rep = np.repeat(acc_domains, st.lengths)
             remote_cat = targets_cat != acc_rep
-            dram = int(np.count_nonzero(dram_cat))
-            remote_dram = int(np.count_nonzero(dram_cat & remote_cat))
+            st.dram = int(np.count_nonzero(dram_cat))
+            st.remote_dram = int(np.count_nonzero(dram_cat & remote_cat))
             # Traffic matrix in one pass: bincount over flattened
             # (accessor domain, target domain) pair codes of DRAM fetches.
             pair = acc_rep[dram_cat] * n_domains + targets_cat[dram_cat]
-            traffic = (
+            st.traffic = (
                 np.bincount(pair, minlength=n_domains * n_domains)
                 .reshape(n_domains, n_domains)
                 .astype(np.int64)
             )
             need_views = self.monitor is not None
-            for k, i in enumerate(mem_idx):
+            for k, i in enumerate(st.mem_idx):
                 s, e = starts[k], starts[k + 1]
-                lat_sums[i] = float(lat_cat[s:e].sum())
+                st.lat_sums[i] = float(lat_cat[s:e].sum())
                 if need_views:
-                    chunk_levels[k] = cls.levels[s:e]
-                    chunk_targets[k] = targets_cat[s:e]
-                    chunk_seq[k] = bool(cls.sequential[k])
-                    chunk_lat[k] = lat_cat[s:e]
-                    chunk_dram[k] = dram_cat[s:e]
-                    chunk_remote[k] = remote_cat[s:e]
+                    st.chunk_levels[k] = cls.levels[s:e]
+                    st.chunk_targets[k] = targets_cat[s:e]
+                    st.chunk_seq[k] = bool(cls.sequential[k])
+                    st.chunk_lat[k] = lat_cat[s:e]
+                    st.chunk_dram[k] = dram_cat[s:e]
+                    st.chunk_remote[k] = remote_cat[s:e]
         elif n_mem:
             latency_model = machine.latency_model
             topology = machine.topology
             l1 = latency_model.l1
             lvl_lat = (latency_model.l1, latency_model.l2, latency_model.l3)
             keep_fetch_lat = self.monitor is not None
-            for k, i in enumerate(mem_idx):
-                t, c = mem[k]
-                summ = summaries[k]
-                tgt = dram_targets[k]
+            for k, i in enumerate(st.mem_idx):
+                t, c = st.mem[k]
+                summ = st.summaries[k]
+                tgt = st.dram_targets[k]
                 nf = summ.footprint_bytes // machine.cache.config.line_size
                 if tgt is None:
                     # All fetches hit a cache level: the chunk's latency
                     # sum is exact closed-form arithmetic.
-                    lat_sums[i] = (
+                    st.lat_sums[i] = (
                         (c.n_accesses - nf) * l1 + nf * lvl_lat[summ.fetch_level]
                     )
                 else:
@@ -723,79 +851,87 @@ class ExecutionEngine:
                         topology,
                         inflation,
                         sequential=summ.sequential,
-                        interleaved=interleaved[k],
+                        interleaved=st.interleaved[k],
                     )
-                    lat_sums[i] = float(fetch_lat.sum()) + (c.n_accesses - nf) * l1
-                    dram += nf
-                    remote_dram += int(np.count_nonzero(tgt != t.domain))
-                    traffic[t.domain] += np.bincount(tgt, minlength=n_domains)
+                    st.lat_sums[i] = (
+                        float(fetch_lat.sum()) + (c.n_accesses - nf) * l1
+                    )
+                    st.dram += nf
+                    st.remote_dram += int(np.count_nonzero(tgt != t.domain))
+                    st.traffic[t.domain] += np.bincount(
+                        tgt, minlength=n_domains
+                    )
                     if keep_fetch_lat:
-                        chunk_lat[k] = fetch_lat
+                        st.chunk_lat[k] = fetch_lat
 
+    def _monitor_phase(
+        self, step: list[tuple[SimThread, AccessChunk]], st: _StepMem
+    ) -> list[float] | None:
+        """One ``on_step`` call with per-chunk views; returns the costs."""
+        if self.monitor is None:
+            return None
+        tr = obs.TRACER
+        traced = tr.enabled
+        if traced:
+            tr.begin("engine.monitor", "engine")
+        machine = self.machine
+        views = []
+        mem_rank = {i: k for k, i in enumerate(st.mem_idx)}
+        for i, (t, chunk) in enumerate(step):
+            path = self.callstacks[t.tid].with_leaf(chunk.ip)
+            k = mem_rank.get(i)
+            if k is None:
+                views.append(ChunkView(
+                    t.tid, t.cpu, t.domain, chunk, _EMPTY_U8, _EMPTY_I64,
+                    _EMPTY_F64, path, _EMPTY_BOOL, _EMPTY_BOOL,
+                ))
+            elif st.batched:
+                views.append(ChunkView(
+                    t.tid, t.cpu, t.domain, chunk, st.chunk_levels[k],
+                    st.chunk_targets[k], st.chunk_lat[k], path,
+                    st.chunk_dram[k], st.chunk_remote[k],
+                ))
+            else:
+                views.append(LazyChunkView(
+                    t.tid, t.cpu, t.domain, chunk, path, st.summaries[k],
+                    machine, st.fetch_idx[k], st.dram_targets[k],
+                    st.chunk_lat[k],
+                ))
+        costs = list(self.monitor.on_step(views))
         if traced:
             tr.end()
+        if len(costs) != st.n_active:
+            raise ProgramError(
+                f"monitor on_step returned {len(costs)} costs for "
+                f"{st.n_active} chunks"
+            )
+        return costs
 
-        # ---- monitors: one on_step call with per-chunk views ---- #
-        costs: list[float] | None = None
-        if self.monitor is not None:
-            if traced:
-                tr.begin("engine.monitor", "engine")
-            views = []
-            mem_rank = {i: k for k, i in enumerate(mem_idx)}
-            for i, (t, chunk) in enumerate(step):
-                path = self.callstacks[t.tid].with_leaf(chunk.ip)
-                k = mem_rank.get(i)
-                if k is None:
-                    views.append(ChunkView(
-                        t.tid, t.cpu, t.domain, chunk, _EMPTY_U8, _EMPTY_I64,
-                        _EMPTY_F64, path, _EMPTY_BOOL, _EMPTY_BOOL,
-                    ))
-                elif batched:
-                    views.append(ChunkView(
-                        t.tid, t.cpu, t.domain, chunk, chunk_levels[k],
-                        chunk_targets[k], chunk_lat[k], path, chunk_dram[k],
-                        chunk_remote[k],
-                    ))
-                else:
-                    views.append(LazyChunkView(
-                        t.tid, t.cpu, t.domain, chunk, path, summaries[k],
-                        machine, fetch_idx[k], dram_targets[k], chunk_lat[k],
-                    ))
-            costs = list(self.monitor.on_step(views))
-            if traced:
-                tr.end()
-            if len(costs) != n_active:
-                raise ProgramError(
-                    f"monitor on_step returned {len(costs)} costs for "
-                    f"{n_active} chunks"
-                )
-
-        # ---- cycle / counter accounting ---- #
-        overhead = 0.0
+    def _account_phase(
+        self,
+        step: list[tuple[SimThread, AccessChunk]],
+        st: _StepMem,
+        costs: list[float] | None,
+        region_cycles: dict[int, float],
+        overhead_by_tid: np.ndarray,
+    ) -> tuple[int, int]:
+        """Cycle / counter accounting; returns (instructions, accesses)."""
         instructions = 0
         accesses = 0
-        base_cpi = machine.base_cpi
-        mlp = machine.mlp
+        base_cpi = self.machine.base_cpi
+        mlp = self.machine.mlp
         for i, (t, chunk) in enumerate(step):
             cycles = (
                 chunk.n_instructions * base_cpi
-                + trap_costs[i]
-                + lat_sums[i] / mlp
+                + st.trap_costs[i]
+                + st.lat_sums[i] / mlp
             )
-            overhead += trap_costs[i]
+            oh = st.trap_costs[i]
             if costs is not None:
                 cycles += costs[i]
-                overhead += costs[i]
+                oh += costs[i]
+            overhead_by_tid[t.tid] += oh
             instructions += chunk.n_instructions
             accesses += chunk.n_accesses
             region_cycles[t.tid] += cycles
-
-        return {
-            "overhead": overhead,
-            "instructions": instructions,
-            "accesses": accesses,
-            "dram": dram,
-            "remote_dram": remote_dram,
-            "domain_requests": step_requests,
-            "domain_traffic": traffic,
-        }
+        return instructions, accesses

@@ -268,6 +268,8 @@ class SamplingMechanism(abc.ABC):
         self.per_access_cycles = per_access_cycles
         self.instr_tax_cycles = instr_tax_cycles
         self._carry: dict[int, int] = {}
+        self._seed = 0x1B5
+        self._rngs: dict[int, np.random.Generator] = {}
         self.machine: Machine | None = None
         self.total_samples = 0
         self.total_events = 0
@@ -280,8 +282,25 @@ class SamplingMechanism(abc.ABC):
         self.total_events = 0
         # Hardware IBS randomizes the low bits of its period counter to
         # avoid aliasing with loop periodicity; we do the same with a
-        # deterministic stream so runs stay reproducible.
-        self._rng = np.random.default_rng(seed)
+        # deterministic stream so runs stay reproducible. Each thread
+        # owns an independent stream (a per-PMU counter on real
+        # hardware): the draw a thread sees depends only on (seed, tid)
+        # and that thread's own chunk history, never on how threads
+        # interleave — the invariance the sharded engine relies on.
+        self._seed = int(seed)
+        self._rngs = {}
+
+    def _rng_for(self, tid: int) -> np.random.Generator:
+        """Thread ``tid``'s private jitter stream (lazily spawned)."""
+        rng = self._rngs.get(tid)
+        if rng is None:
+            # spawn_key=(tid,) is bit-identical to the tid-th child of
+            # SeedSequence(seed).spawn(...) but needs no up-front count.
+            rng = np.random.default_rng(
+                np.random.SeedSequence(self._seed, spawn_key=(tid,))
+            )
+            self._rngs[tid] = rng
+        return rng
 
     def _carry_of(self, tid: int) -> int:
         return self._carry.get(tid, 0)
@@ -480,7 +499,7 @@ class InstructionSamplingMixin:
         # interleave; carry accounting stays on the unjittered grid.
         jitter_width = self._jitter_width
         if jitter_width > 1:
-            jitter = self._rng.integers(0, jitter_width, size=n_positions)
+            jitter = self._rng_for(tid).integers(0, jitter_width, size=n_positions)
             positions = np.maximum(positions - jitter, 0)
             deduped = _dedupe_sorted(positions)
             if deduped.size != positions.size:
@@ -501,11 +520,11 @@ class InstructionSamplingMixin:
         """Step-wide :meth:`_instruction_samples` over every chunk at once.
 
         One vectorized periodic selection over the step's instruction
-        counts, one RNG jitter draw for the whole step (the bounded
-        int64 draw consumes the PCG stream per element, so a single
-        step-sized call yields bit-identical jitter to per-chunk calls
-        in view order), and one Bresenham pass mapping instruction slots
-        to access indices.
+        counts, one jitter draw per chunk from its thread's private
+        stream (concatenated in view order, so the result is
+        bit-identical to per-chunk :meth:`_instruction_samples` calls),
+        and one Bresenham pass mapping instruction slots to access
+        indices.
 
         Returns ``(access_idx_cat, counts, n_positions, n_acc, n_ins)``.
         """
@@ -529,7 +548,19 @@ class InstructionSamplingMixin:
         mem_rows = rows[keep_pos]
         jitter_width = self._jitter_width
         if jitter_width > 1 and mem_pos.size:
-            jitter = self._rng.integers(0, jitter_width, size=mem_pos.size)
+            # One bounded draw per chunk from that thread's own stream;
+            # mem_rows is ascending, so concatenating per-row draws in
+            # view order reproduces the scalar path's stream consumption.
+            row_counts = np.bincount(mem_rows, minlength=n)
+            jitter = np.concatenate(
+                [
+                    self._rng_for(tids[r]).integers(
+                        0, jitter_width, size=int(c)
+                    )
+                    for r, c in enumerate(row_counts)
+                    if c
+                ]
+            )
             mem_pos = np.maximum(mem_pos - jitter, 0)
             dedup = np.empty(mem_pos.size, dtype=bool)
             dedup[0] = True

@@ -1,0 +1,77 @@
+"""Accumulator tables: growth must preserve rows and sentinel state.
+
+Regression tests for the ``np.empty``-backed :class:`MinMaxTable`: a
+growth reallocation copies only the live rows, so freshly exposed
+capacity holds stale memory until ``alloc`` re-initializes it — rows
+handed out across a growth boundary must still start at the
+``[+inf, -inf]`` sentinel, and rows tightened before the growth must
+survive the copy bit-for-bit.
+"""
+
+import numpy as np
+
+from repro.profiler.accum import MinMaxTable, RowTable
+
+
+class TestRowTableGrowth:
+    def test_grown_rows_are_zero_and_old_rows_survive(self):
+        tab = RowTable(3, capacity=4)
+        first = tab.alloc(4)
+        tab.data[first : first + 4] = np.arange(12.0).reshape(4, 3)
+        old_buf = tab.data
+        nxt = tab.alloc(2)  # forces reallocation past capacity 4
+        assert tab.data is not old_buf, "growth must reallocate"
+        np.testing.assert_array_equal(
+            tab.data[:4], np.arange(12.0).reshape(4, 3)
+        )
+        np.testing.assert_array_equal(tab.data[nxt : nxt + 2], 0.0)
+
+    def test_alloc_larger_than_doubled_capacity(self):
+        tab = RowTable(2, capacity=2)
+        tab.alloc(1)
+        tab.data[0] = 7.0
+        base = tab.alloc(50)  # need > cap * 2: must size to `need`
+        assert base == 1
+        assert tab.data.shape[0] >= 51
+        np.testing.assert_array_equal(tab.data[0], 7.0)
+        np.testing.assert_array_equal(tab.data[1:51], 0.0)
+
+    def test_stale_view_detectable_after_growth(self):
+        """Callers must re-read ``data`` after any alloc: a view taken
+        before growth points at the dead buffer."""
+        tab = RowTable(1, capacity=1)
+        row = tab.alloc()
+        stale = tab.data[row]
+        tab.alloc(8)  # reallocates
+        stale[0] = 99.0
+        assert tab.data[row, 0] == 0.0  # write landed in the dead buffer
+
+
+class TestMinMaxTableGrowth:
+    def test_grown_rows_get_sentinel(self):
+        tab = MinMaxTable(capacity=2)
+        first = tab.alloc(2)
+        tab.data[first] = (10.0, 20.0)
+        tab.data[first + 1] = (5.0, 6.0)
+        grown = tab.alloc(3)  # reallocates over np.empty storage
+        np.testing.assert_array_equal(tab.data[first], (10.0, 20.0))
+        np.testing.assert_array_equal(tab.data[first + 1], (5.0, 6.0))
+        np.testing.assert_array_equal(tab.data[grown : grown + 3, 0], np.inf)
+        np.testing.assert_array_equal(tab.data[grown : grown + 3, 1], -np.inf)
+
+    def test_every_row_starts_at_sentinel_across_many_growths(self):
+        tab = MinMaxTable(capacity=1)
+        rows = [tab.alloc(n) for n in (1, 2, 4, 9, 30)]
+        for base, n in zip(rows, (1, 2, 4, 9, 30)):
+            np.testing.assert_array_equal(tab.data[base : base + n, 0], np.inf)
+            np.testing.assert_array_equal(
+                tab.data[base : base + n, 1], -np.inf
+            )
+
+    def test_min_max_updates_survive_growth(self):
+        tab = MinMaxTable(capacity=1)
+        r = tab.alloc(1)
+        np.minimum.at(tab.data[:, 0], [r], [3.0])
+        np.maximum.at(tab.data[:, 1], [r], [8.0])
+        tab.alloc(5)
+        assert tuple(tab.data[r]) == (3.0, 8.0)

@@ -57,6 +57,28 @@ class TestCompare:
         )
         assert res["ok"]
         assert "new" not in res["speedups"]["workloads"]
+        assert "workloads/new" in res["missing"]
+
+    def test_stripped_baseline_compares_shared_keys_only(self):
+        """A baseline predating newer schema fields (phase breakdowns,
+        per-mode entries) must compare what it has and warn on the rest."""
+        baseline = fake_doc({"w": 100.0})
+        # Strip fields as an old-schema file would lack them.
+        del baseline["workloads"]["w"]["monitored"]
+        del baseline["totals"]["monitored"]
+        res = perf.compare(fake_doc({"w": 95.0}), baseline, threshold=0.2)
+        assert res["ok"]
+        assert res["speedups"]["workloads"]["w"]["engine_only"] == 0.95
+        assert res["speedups"]["workloads"]["w"]["monitored"] is None
+        assert res["speedups"]["totals"]["monitored"] is None
+        assert "totals/monitored/chunks_per_s" in res["missing"]
+        assert "workloads/w/monitored/chunks_per_s" in res["missing"]
+
+    def test_zero_baseline_rate_is_missing_not_crash(self):
+        baseline = fake_doc({"w": 0.0})
+        res = perf.compare(fake_doc({"w": 95.0}), baseline, threshold=0.2)
+        assert res["ok"]
+        assert res["speedups"]["workloads"]["w"]["engine_only"] is None
 
 
 class TestRunPerf:
@@ -189,6 +211,60 @@ class TestMain:
         assert noop["instrumentation_sites"] > 0
         assert noop["overhead_pct"] < noop["limit_pct"]
         assert "disabled-telemetry estimate" in capsys.readouterr().out
+
+    def test_stripped_baseline_does_not_crash_main(self, tmp_path, capsys):
+        """End-to-end: comparing against a baseline that predates the
+        per-mode totals must print n/a + warnings, not TypeError."""
+        base = tmp_path / "base.json"
+        rc = perf.main(
+            ["--scale", "0.01", "--threads", "8", "--output", str(base)]
+        )
+        assert rc == 0
+        doc = json.loads(base.read_text())
+        del doc["totals"]["monitored"]
+        for entry in doc["workloads"].values():
+            del entry["monitored"]
+        base.write_text(json.dumps(doc))
+
+        out = tmp_path / "bench.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "8",
+                "--output", str(out),
+                "--baseline", str(base),
+                "--threshold", "0.95",
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "monitored n/a" in printed
+        assert "warning: baseline lacks totals/monitored" in printed
+
+    def test_workers_sweep_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = perf.main(
+            [
+                "--scale", "0.01",
+                "--threads", "8",
+                "--workers-sweep",
+                "--output", str(out),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        sweep = doc["workers_sweep"]
+        assert sweep["host_cpus"] >= 1
+        if sweep["sharding_supported"]:
+            for name in perf.SWEEP_WORKLOADS:
+                entry = sweep["workloads"][name]
+                assert entry["serial"]["chunks_per_s"] > 0
+                for n in perf.SWEEP_WORKERS:
+                    w = entry[f"workers_{n}"]
+                    assert w["chunks"] == entry["serial"]["chunks"]
+                    assert w["speedup_vs_serial"] > 0
+            assert "workers sweep" in capsys.readouterr().out
 
     def test_phase_breakdown_flag(self, tmp_path, capsys):
         out = tmp_path / "bench.json"

@@ -142,7 +142,8 @@ class TestJitterDedupe:
         machine = presets.generic()
         mech = IBS(period=8)
         mech.configure(machine)
-        mech._rng = ForcedJitterRNG(40)  # far beyond the jitter window
+        # Force every per-thread stream far beyond the jitter window.
+        mech._rng_for = lambda tid: ForcedJitterRNG(40)
         chunk = _unit_chunk(HeapAllocator(machine), "j", 64)
         levels = np.full(64, LEVEL_L1, dtype=np.uint8)
         batch = mech.select(
@@ -159,7 +160,7 @@ class TestJitterDedupe:
         machine = presets.generic()
         mech = IBS(period=8)
         mech.configure(machine)
-        mech._rng = ForcedJitterRNG(40)
+        mech._rng_for = lambda tid: ForcedJitterRNG(40)
         heap = HeapAllocator(machine)
         views = []
         for tid in range(2):
