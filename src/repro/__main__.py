@@ -122,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-process when N=1 or the platform cannot fork)")
     parser.add_argument("--period", type=int, default=None,
                         help="sampling period override")
+    parser.add_argument("--no-memo", action="store_true",
+                        help="disable iteration memoization (the engine's "
+                        "epoch-keyed classification cache and the "
+                        "profiler's cached-views fast path); results are "
+                        "bit-identical either way — this is a debugging "
+                        "switch")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0 = "
                         "paper sizes; small floors keep runs meaningful)")
@@ -198,9 +204,11 @@ def _run(args: argparse.Namespace) -> int:
           f"threads, {mech_name} period {period}{scale_txt}\n")
     log.debug("binding=%s mechanism kwargs=%s", binding.name, kwargs)
 
+    memoize = not args.no_memo
     with tr.span("cli.baseline_run", "harness"):
         baseline = ExecutionEngine(
-            machine_factory(), build(), threads, binding=binding
+            machine_factory(), build(), threads, binding=binding,
+            memoize=memoize,
         ).run()
     if args.workers > 1:
         from repro.parallel import ParallelEngine
@@ -209,17 +217,19 @@ def _run(args: argparse.Namespace) -> int:
             machine_factory, build, threads,
             n_workers=args.workers, binding=binding,
             monitor_factory=lambda: NumaProfiler(
-                create_mechanism(mech_name, period, **kwargs)
+                create_mechanism(mech_name, period, **kwargs),
+                memoize=memoize,
             ),
+            memoize=memoize,
         )
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
         archive = engine.archive
     else:
-        profiler = NumaProfiler(mechanism)
+        profiler = NumaProfiler(mechanism, memoize=memoize)
         engine = ExecutionEngine(
             machine_factory(), build(), threads, monitor=profiler,
-            binding=binding,
+            binding=binding, memoize=memoize,
         )
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
@@ -300,7 +310,8 @@ def _advise_and_optimize(
         tuning = apply_advice(advice, machine_factory().n_domains)
         with obs.TRACER.span("cli.optimized_run", "harness"):
             optimized = ExecutionEngine(
-                machine_factory(), build(tuning), threads, binding=binding
+                machine_factory(), build(tuning), threads, binding=binding,
+                memoize=not args.no_memo,
             ).run()
         gain = baseline.wall_seconds / optimized.wall_seconds - 1
         print(f"\napplied: {tuning.describe()}")

@@ -2,11 +2,21 @@
 
 ``python -m repro bench-perf`` times *real* (host) wall-clock runs of the
 four paper workloads on the Magny-Cours preset, once engine-only and once
-with the full profiler attached, and writes ``BENCH_perf.json`` with
+with the full profiler attached — each both with iteration memoization on
+(the default configuration) and off — and writes ``BENCH_perf.json`` with
 
-* wall seconds per run,
-* chunks/s and accesses/s throughput (the engine hot-path rates),
+* wall seconds per run (memo-on and memo-off),
+* chunks/s and accesses/s throughput (the engine hot-path rates, memo on),
+* the engine memo's hit/miss/eviction counters per run,
 * the monitored-overhead percentage (host time, not simulated time).
+
+``overhead_pct`` is the monitored memo-on wall against the *uncached*
+engine-only wall: the cost of profiling the workload relative to what the
+engine must compute without its iteration cache — the figure directly
+comparable to pre-memoization baselines. ``overhead_vs_memo_pct`` is the
+same monitored wall against the memoized engine-only wall (the in-config
+ratio; much larger because the cached engine base is a few times
+smaller).
 
 When a baseline JSON (same schema) is available — by default
 ``results/BENCH_perf_baseline.json``, else the previous output file —
@@ -98,13 +108,29 @@ def _rates(wall_s: float, result) -> dict:
     }
 
 
-def _timed_run(machine_factory, program_factory, threads, monitor=None):
+def _timed_run(
+    machine_factory, program_factory, threads, monitor=None, memoize=True
+):
     engine = ExecutionEngine(
-        machine_factory(), program_factory(), threads, monitor=monitor
+        machine_factory(), program_factory(), threads, monitor=monitor,
+        memoize=memoize,
     )
     t0 = time.perf_counter()
     result = engine.run()
-    return time.perf_counter() - t0, result
+    return time.perf_counter() - t0, result, engine
+
+
+def _memo_stats(engine) -> dict:
+    """The engine memo's counters for the results JSON (zeros when off)."""
+    if engine.memo is None:
+        return {"hits": 0, "misses": 0, "evictions": 0}
+    stats = engine.memo.stats()
+    return {
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "evictions": stats["evictions"],
+        "record_bytes": stats["record_bytes"],
+    }
 
 
 def _traced_breakdown(machine_factory, factory, threads, mechanism, period):
@@ -114,7 +140,7 @@ def _traced_breakdown(machine_factory, factory, threads, mechanism, period):
     old = obs.set_tracer(tracer)
     try:
         tracer.enable()
-        wall_s, _ = _timed_run(
+        wall_s, _, _ = _timed_run(
             machine_factory, factory, threads,
             monitor=NumaProfiler(create_mechanism(mechanism, period)),
         )
@@ -162,20 +188,54 @@ def run_perf(
     tot = {
         "engine_only": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
         "monitored": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
+        "engine_only_no_memo": {"wall_s": 0.0},
+        "monitored_no_memo": {"wall_s": 0.0},
     }
     for name, factory in workloads.items():
-        base_s, base_res = _timed_run(machine_factory, factory, threads)
-        mon_s, mon_res = _timed_run(
+        base_nm_s, _, _ = _timed_run(
+            machine_factory, factory, threads, memoize=False
+        )
+        base_s, base_res, base_eng = _timed_run(
+            machine_factory, factory, threads
+        )
+        mon_nm_s, _, _ = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(
+                create_mechanism(mechanism, period), memoize=False
+            ),
+            memoize=False,
+        )
+        mon_s, mon_res, mon_eng = _timed_run(
             machine_factory, factory, threads,
             monitor=NumaProfiler(create_mechanism(mechanism, period)),
         )
         entry = {
             "engine_only": _rates(base_s, base_res),
             "monitored": _rates(mon_s, mon_res),
+            "engine_only_no_memo": {"wall_s": base_nm_s},
+            "monitored_no_memo": {"wall_s": mon_nm_s},
+            "memo": {
+                "engine_only": _memo_stats(base_eng),
+                "monitored": _memo_stats(mon_eng),
+            },
         }
+        entry["engine_only"]["memo_speedup"] = (
+            base_nm_s / base_s if base_s > 0 else 0.0
+        )
         entry["monitored"]["overhead_pct"] = (
+            (mon_s / base_nm_s - 1.0) * 100.0 if base_nm_s > 0 else 0.0
+        )
+        entry["monitored"]["overhead_vs_memo_pct"] = (
             (mon_s / base_s - 1.0) * 100.0 if base_s > 0 else 0.0
         )
+        tot["engine_only_no_memo"]["wall_s"] += base_nm_s
+        tot["monitored_no_memo"]["wall_s"] += mon_nm_s
+        memo_tot = tot.setdefault(
+            "memo", {"hits": 0, "misses": 0, "evictions": 0}
+        )
+        for mode_stats in entry["memo"].values():
+            for key in ("hits", "misses", "evictions"):
+                memo_tot[key] += mode_stats[key]
         if phase_breakdown:
             entry["phase_breakdown"] = _traced_breakdown(
                 machine_factory, factory, threads, mechanism, period
@@ -196,6 +256,12 @@ def run_perf(
             tot[mode]["accesses"] / wall if wall else 0.0
         )
     tot["monitored_overhead_pct"] = (
+        (tot["monitored"]["wall_s"] / tot["engine_only_no_memo"]["wall_s"]
+         - 1.0) * 100.0
+        if tot["engine_only_no_memo"]["wall_s"]
+        else 0.0
+    )
+    tot["monitored_overhead_vs_memo_pct"] = (
         (tot["monitored"]["wall_s"] / tot["engine_only"]["wall_s"] - 1.0)
         * 100.0
         if tot["engine_only"]["wall_s"]
@@ -244,7 +310,7 @@ def measure_noop_overhead(
     n_elems = max(int(400_000 * scale), 8_000)
 
     def run() -> float:
-        wall_s, _ = _timed_run(
+        wall_s, _, _ = _timed_run(
             machine_factory, lambda: PartitionedSweep(n_elems=n_elems),
             threads,
         )
@@ -310,17 +376,27 @@ def run_workers_sweep(
 
     machine_factory = presets.PRESETS[preset]
     workloads = default_workloads(scale)
+    host_cpus = os.cpu_count() or 1
+    underprovisioned = host_cpus < max(workers, default=0)
     sweep: dict = {
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
         "sharding_supported": sharding_supported(),
         "workers": list(workers),
+        "underprovisioned": underprovisioned,
         "workloads": {},
     }
+    if underprovisioned:
+        obs.get_logger("bench").warning(
+            "workers sweep is underprovisioned: host has %d CPU(s) but the "
+            "sweep runs up to %d workers — speedups below 1x reflect "
+            "time-slicing plus IPC, not sharding overhead",
+            host_cpus, max(workers),
+        )
     if not sharding_supported():
         return sweep
     for name in workload_names:
         factory = workloads[name]
-        serial_s, serial_res = _timed_run(
+        serial_s, serial_res, _ = _timed_run(
             machine_factory, factory, threads,
             monitor=NumaProfiler(create_mechanism(mechanism, period)),
         )
@@ -401,31 +477,45 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
 def render(doc: dict) -> str:
     """Paper-style fixed-width table for one bench-perf document."""
     rows = []
+
+    def memo_cell(memo: dict | None) -> str:
+        if not memo:
+            return "-"
+        hits = sum(m["hits"] for m in memo.values())
+        misses = sum(m["misses"] for m in memo.values())
+        return f"{hits}/{misses}"
+
     for name, entry in doc["workloads"].items():
         eng, mon = entry["engine_only"], entry["monitored"]
+        no_memo = entry.get("engine_only_no_memo", {})
         rows.append([
             name,
             f"{eng['wall_s']:.2f}s",
             f"{eng['chunks_per_s']:,.0f}",
-            f"{eng['accesses_per_s'] / 1e6:.1f}M",
+            f"{no_memo['wall_s']:.2f}s" if no_memo else "-",
             f"{mon['wall_s']:.2f}s",
             f"{mon['overhead_pct']:+.0f}%",
+            memo_cell(entry.get("memo")),
         ])
     tot = doc["totals"]
+    memo_tot = tot.get("memo")
     rows.append([
         "TOTAL",
         f"{tot['engine_only']['wall_s']:.2f}s",
         f"{tot['engine_only']['chunks_per_s']:,.0f}",
-        f"{tot['engine_only']['accesses_per_s'] / 1e6:.1f}M",
+        f"{tot['engine_only_no_memo']['wall_s']:.2f}s"
+        if "engine_only_no_memo" in tot else "-",
         f"{tot['monitored']['wall_s']:.2f}s",
         f"{tot['monitored_overhead_pct']:+.0f}%",
+        f"{memo_tot['hits']}/{memo_tot['misses']}" if memo_tot else "-",
     ])
     table = fmt_table(
-        ["workload", "engine s", "chunks/s", "accesses/s", "monitored s",
-         "overhead"],
+        ["workload", "engine s", "chunks/s", "no-memo s", "monitored s",
+         "overhead", "memo h/m"],
         rows,
         title=f"bench-perf — {doc['preset']}, {doc['threads']} threads, "
-        f"{doc['mechanism']} period {doc['period']}",
+        f"{doc['mechanism']} period {doc['period']} (overhead vs the "
+        "uncached engine wall)",
     )
     pb_tot = doc["totals"].get("phase_breakdown")
     if pb_tot:
@@ -468,7 +558,9 @@ def render(doc: dict) -> str:
             + [f"{n} workers" for n in sweep["workers"]],
             sweep_rows,
             title=f"workers sweep — monitored runs, host has "
-            f"{sweep['host_cpus']} CPU(s)",
+            f"{sweep['host_cpus']} CPU(s)"
+            + (" [UNDERPROVISIONED]" if sweep.get("underprovisioned")
+               else ""),
         )
     return table
 

@@ -130,6 +130,52 @@ class StepClassification:
     footprints: np.ndarray      # per-chunk unique-line bytes
 
 
+@dataclass
+class StepFetchProducts:
+    """State-free half of a step's classification (see ``classify_step``).
+
+    Everything here is a pure function of the concatenated address
+    stream, so the engine's memoization layer may cache it across a
+    region's repeat iterations; the reuse-distance lookup
+    (:meth:`CacheHierarchy.step_fetch_levels`) is the only stateful part
+    and must run live every iteration.
+    """
+
+    fetch: np.ndarray           # concatenated per-access line-fetch mask
+    sequential: np.ndarray      # per-chunk prefetchable-stream flags
+    footprints: np.ndarray      # per-chunk unique-line bytes
+    first_addrs: np.ndarray     # per-chunk first access address
+
+
+class ScratchPool:
+    """Growable pool of named scratch buffers for the fused step kernel.
+
+    The batched small-chunk path allocates several step-sized temporaries
+    (line numbers, deltas, cumulative sums) per step; with thousands of
+    steps per region that allocation churn dominates the classify phase.
+    A pool hands out the same backing buffers every step instead.
+    Buffers are overwritten by the next request for the same name, so
+    only intermediates that never escape the kernel may live here —
+    anything retained (e.g. by the memo layer) must be an owned array.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` array named ``name`` (contents undefined)."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < size or buf.dtype != np.dtype(dtype):
+            grow = 0 if buf is None or buf.dtype != np.dtype(dtype) else 2 * buf.size
+            buf = np.empty(max(size, grow), dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:size]
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+
 def is_sequential(addrs: np.ndarray) -> bool:
     """Detect a prefetchable (mostly small-forward-stride) access stream."""
     if addrs.size < 2:
@@ -233,39 +279,59 @@ class CacheHierarchy:
         addrs = np.asarray(addrs, dtype=np.int64)
         if addrs.size == 0:
             return ChunkSummary(np.empty(0, dtype=bool), LEVEL_L1, True, 0)
+        fetch, footprint, sequential = self.chunk_fetch_products(addrs)
+        level = self.chunk_fetch_level(cpu, seg_id, int(addrs[0]), footprint)
+        return ChunkSummary(fetch, level, sequential, footprint)
+
+    def chunk_fetch_products(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, int, bool]:
+        """Pure half of :meth:`classify_summary` for one non-empty chunk.
+
+        Returns ``(fetch_mask, footprint_bytes, sequential)`` — a pure
+        function of the addresses, cacheable across iterations; the
+        reuse-distance half is :meth:`chunk_fetch_level`.
+        """
         lines = addrs // self.config.line_size
         fetch = first_occurrence_mask(lines)
         footprint = int(np.count_nonzero(fetch)) * self.config.line_size
-        level = self._fetch_level(cpu, seg_id, int(addrs[0]), footprint)
-        return ChunkSummary(fetch, level, is_sequential(addrs), footprint)
+        return fetch, footprint, is_sequential(addrs)
 
-    def classify_step(
+    def chunk_fetch_level(
+        self, cpu: int, seg_id: int, first_addr: int, footprint: int
+    ) -> int:
+        """Stateful half of :meth:`classify_summary`: one reuse lookup.
+
+        Advances the streaming state exactly as the per-chunk classify
+        calls would; the memo layer calls this live every iteration.
+        """
+        return self._fetch_level(cpu, seg_id, first_addr, footprint)
+
+    def step_fetch_products(
         self,
         addrs: np.ndarray,
         starts: np.ndarray,
-        cpus: list[int],
-        seg_ids: list[int],
-    ) -> StepClassification:
-        """Classify a whole execution step's chunks in one batched pass.
+        scratch: ScratchPool | None = None,
+    ) -> StepFetchProducts:
+        """Pure per-access half of :meth:`classify_step`.
 
-        ``addrs`` concatenates the step's chunk addresses; chunk ``j``
-        occupies ``addrs[starts[j]:starts[j+1]]`` and was issued by
-        hardware thread ``cpus[j]`` against segment ``seg_ids[j]``.
-        Equivalent to calling :meth:`classify` once per chunk in order —
-        the reuse-distance state updates happen in the same chunk order —
-        but the per-access work (line mapping, first-occurrence masks,
-        footprints, sequentiality) runs as step-wide array operations.
+        Computes the concatenated line-fetch mask, per-chunk
+        sequentiality, footprints, and first addresses without touching
+        reuse-distance state — a pure function of ``addrs``/``starts``
+        that the memo layer caches across iterations. ``scratch``
+        optionally supplies pooled buffers for the step-sized
+        intermediates (line numbers, deltas, cumulative sums); the
+        returned arrays are always owned allocations.
         """
-        n_chunks = len(cpus)
-        levels = np.full(addrs.shape, LEVEL_L1, dtype=np.uint8)
-        sequential = np.ones(n_chunks, dtype=bool)
-        footprints = np.zeros(n_chunks, dtype=np.int64)
-        if addrs.size == 0:
-            return StepClassification(levels, sequential, footprints)
-
         starts = np.asarray(starts, dtype=np.int64)
         lengths = np.diff(starts)
-        lines = addrs // self.config.line_size
+        n = addrs.size
+        pool = scratch
+        if pool is not None:
+            lines = pool.get("lines", n, np.int64)
+            np.floor_divide(addrs, self.config.line_size, out=lines)
+        else:
+            lines = addrs // self.config.line_size
 
         # Global delta arrays; entries that span a chunk boundary are
         # neutralized below (the boundary position is forced True in the
@@ -273,15 +339,35 @@ class CacheHierarchy:
         # deltas via the exclusive-cumsum trick).
         fetch = np.empty(addrs.shape, dtype=bool)
         fetch[0] = True
-        if addrs.size > 1:
-            ldeltas = np.diff(lines)
-            adeltas = np.diff(addrs)
-            fetch[1:] = ldeltas > 0
-            neg_cum = np.concatenate(
-                ([0], np.cumsum(ldeltas < 0, dtype=np.int64))
-            )
-            seq_ok = (adeltas >= 0) & (adeltas <= SEQUENTIAL_STRIDE_LIMIT)
-            ok_cum = np.concatenate(([0], np.cumsum(seq_ok, dtype=np.int64)))
+        if n > 1:
+            if pool is not None:
+                ldeltas = pool.get("ldeltas", n - 1, np.int64)
+                np.subtract(lines[1:], lines[:-1], out=ldeltas)
+                adeltas = pool.get("adeltas", n - 1, np.int64)
+                np.subtract(addrs[1:], addrs[:-1], out=adeltas)
+                np.greater(ldeltas, 0, out=fetch[1:])
+                dneg = pool.get("dneg", n - 1, bool)
+                np.less(ldeltas, 0, out=dneg)
+                neg_cum = pool.get("neg_cum", n, np.int64)
+                neg_cum[0] = 0
+                np.cumsum(dneg, dtype=np.int64, out=neg_cum[1:])
+                seq_ok = pool.get("seq_ok", n - 1, bool)
+                np.less_equal(adeltas, SEQUENTIAL_STRIDE_LIMIT, out=seq_ok)
+                seq_ok &= adeltas >= 0
+                ok_cum = pool.get("ok_cum", n, np.int64)
+                ok_cum[0] = 0
+                np.cumsum(seq_ok, dtype=np.int64, out=ok_cum[1:])
+            else:
+                ldeltas = np.diff(lines)
+                adeltas = np.diff(addrs)
+                fetch[1:] = ldeltas > 0
+                neg_cum = np.concatenate(
+                    ([0], np.cumsum(ldeltas < 0, dtype=np.int64))
+                )
+                seq_ok = (adeltas >= 0) & (adeltas <= SEQUENTIAL_STRIDE_LIMIT)
+                ok_cum = np.concatenate(
+                    ([0], np.cumsum(seq_ok, dtype=np.int64))
+                )
         else:
             neg_cum = np.zeros(1, dtype=np.int64)
             ok_cum = np.zeros(1, dtype=np.int64)
@@ -301,22 +387,91 @@ class CacheHierarchy:
         for j in np.nonzero(n_neg > 0)[0]:
             fetch[s[j] : e[j]] = first_occurrence_mask(lines[s[j] : e[j]])
 
-        fetch_cum = np.concatenate(([0], np.cumsum(fetch, dtype=np.int64)))
+        if pool is not None:
+            fetch_cum = pool.get("fetch_cum", n + 1, np.int64)
+            fetch_cum[0] = 0
+            np.cumsum(fetch, dtype=np.int64, out=fetch_cum[1:])
+        else:
+            fetch_cum = np.concatenate(([0], np.cumsum(fetch, dtype=np.int64)))
         footprints = (fetch_cum[e] - fetch_cum[s]) * self.config.line_size
 
-        # Reuse-distance state is inherently sequential per chunk, but it
-        # is all O(1) dict work on scalars; the per-access arrays above
-        # never enter this loop.
+        return StepFetchProducts(
+            fetch=fetch,
+            sequential=sequential,
+            footprints=footprints,
+            first_addrs=addrs[starts[:-1]].copy(),
+        )
+
+    def step_fetch_levels(
+        self,
+        cpus: list[int],
+        seg_ids: list[int],
+        first_addrs: np.ndarray,
+        footprints: np.ndarray,
+    ) -> np.ndarray:
+        """Stateful half of :meth:`classify_step`: per-chunk fetch levels.
+
+        Runs the reuse-distance lookup/update once per chunk in step
+        order — exactly the sequence the per-chunk :meth:`classify` calls
+        would perform. This is the *only* part of step classification
+        that mutates cache state, so the engine's memo layer calls it
+        live every iteration (never from cache) and keys cached variants
+        on its result.
+        """
+        n_chunks = len(cpus)
         fetch_levels = np.empty(n_chunks, dtype=np.uint8)
         for j in range(n_chunks):
             fetch_levels[j] = self._fetch_level(
-                cpus[j], seg_ids[j], int(addrs[starts[j]]), int(footprints[j])
+                cpus[j], seg_ids[j], int(first_addrs[j]), int(footprints[j])
             )
+        return fetch_levels
 
-        levels = np.where(
+    @staticmethod
+    def expand_step_levels(
+        fetch: np.ndarray, fetch_levels: np.ndarray, lengths: np.ndarray
+    ) -> np.ndarray:
+        """Per-access levels from the fetch mask + per-chunk fetch levels."""
+        return np.where(
             fetch, np.repeat(fetch_levels, lengths), np.uint8(LEVEL_L1)
         )
-        return StepClassification(levels, sequential, footprints)
+
+    def classify_step(
+        self,
+        addrs: np.ndarray,
+        starts: np.ndarray,
+        cpus: list[int],
+        seg_ids: list[int],
+        scratch: ScratchPool | None = None,
+    ) -> StepClassification:
+        """Classify a whole execution step's chunks in one batched pass.
+
+        ``addrs`` concatenates the step's chunk addresses; chunk ``j``
+        occupies ``addrs[starts[j]:starts[j+1]]`` and was issued by
+        hardware thread ``cpus[j]`` against segment ``seg_ids[j]``.
+        Equivalent to calling :meth:`classify` once per chunk in order —
+        the reuse-distance state updates happen in the same chunk order —
+        but the per-access work (line mapping, first-occurrence masks,
+        footprints, sequentiality) runs as step-wide array operations.
+        Composed from :meth:`step_fetch_products` (pure) and
+        :meth:`step_fetch_levels` (stateful) so the memo layer can cache
+        the former while always running the latter.
+        """
+        n_chunks = len(cpus)
+        if addrs.size == 0:
+            return StepClassification(
+                np.full(addrs.shape, LEVEL_L1, dtype=np.uint8),
+                np.ones(n_chunks, dtype=bool),
+                np.zeros(n_chunks, dtype=np.int64),
+            )
+        starts = np.asarray(starts, dtype=np.int64)
+        pure = self.step_fetch_products(addrs, starts, scratch)
+        fetch_levels = self.step_fetch_levels(
+            cpus, seg_ids, pure.first_addrs, pure.footprints
+        )
+        levels = self.expand_step_levels(
+            pure.fetch, fetch_levels, np.diff(starts)
+        )
+        return StepClassification(levels, pure.sequential, pure.footprints)
 
     def level_counts(self, levels: np.ndarray) -> dict[str, int]:
         """Histogram of service levels, keyed by level name."""

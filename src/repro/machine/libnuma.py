@@ -53,6 +53,7 @@ class LibNuma:
             raise ValueError("nodes must match addrs length")
         pt = self.machine.page_table
         pages = addrs // pt.page_size
+        moved = 0
         for page, node in zip(pages, nodes):
             seg_idx = pt.segments_of_pages(np.array([page]))[0]
             seg = pt.segments[int(seg_idx)]
@@ -66,6 +67,9 @@ class LibNuma:
                 seg.n_unbound -= 1
             pt.frames.reserve_exact(int(node), 1)
             seg.domains[local] = node
+            moved += 1
+        if moved:
+            pt.epoch += 1
         return pt.domains_of_addrs(addrs)
 
     def numa_distance(self, a: int, b: int) -> int:

@@ -118,6 +118,7 @@ class Machine:
         starts: np.ndarray,
         cpus: list[int],
         segments: list[Segment],
+        scratch=None,
     ):
         """Return ``(step_classification, target_domains)`` for one step.
 
@@ -126,10 +127,11 @@ class Machine:
         ``addrs[starts[j]:starts[j+1]]``); pages must be bound first.
         Chunks are single-segment by construction, so the page-owner
         lookup is a direct gather from each chunk's segment rather than a
-        generic page-table walk.
+        generic page-table walk. ``scratch`` optionally pools the
+        classification kernel's step-sized temporaries.
         """
         classification = self.cache.classify_step(
-            addrs, starts, cpus, [seg.seg_id for seg in segments]
+            addrs, starts, cpus, [seg.seg_id for seg in segments], scratch
         )
         starts = np.asarray(starts, dtype=np.int64)
         pages = addrs // self.page_size

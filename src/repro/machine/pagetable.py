@@ -129,6 +129,14 @@ class PageTable:
         self.topology = topology
         self.frames = frames
         self.page_size = page_size
+        #: Monotonically increasing mutation counter. Bumped on every
+        #: *actual* change of page state (mapping, unmapping, first-touch
+        #: binding, protection changes, migration, ``move_pages``) and
+        #: never on no-op calls, so shards replaying the same event
+        #: sequence on replicated tables reach identical epochs. The
+        #: engine's memoization layer keys cached classification on it;
+        #: see MODEL.md "Epoch and invalidation contract".
+        self.epoch = 0
         self._segments: dict[int, Segment] = {}
         self._next_id = 0
         # Sorted lookup arrays, rebuilt on map/unmap (allocation-rate is low).
@@ -219,6 +227,7 @@ class PageTable:
         seg.n_unbound = int(np.count_nonzero(dom == UNBOUND))
         self._segments[seg.seg_id] = seg
         self._rebuild_index()
+        self.epoch += 1
         return seg
 
     def unmap_segment(self, seg: Segment) -> None:
@@ -232,6 +241,7 @@ class PageTable:
                 self.frames.release(int(d), int(counts[d]))
         del self._segments[seg.seg_id]
         self._rebuild_index()
+        self.epoch += 1
 
     def _overlaps(self, start_page: int, end_page: int) -> bool:
         if self._starts.size == 0:
@@ -344,6 +354,7 @@ class PageTable:
             newly_bound.append(unbound + seg.start_page)
         if not newly_bound:
             return np.empty(0, dtype=np.int64)
+        self.epoch += 1
         return np.concatenate(newly_bound)
 
     def protect_range(self, base: int, nbytes: int) -> int:
@@ -365,8 +376,11 @@ class PageTable:
             return 0
         lo = first_full - seg.start_page
         hi = last_full - seg.start_page
-        seg.n_protected += (hi - lo) - int(np.count_nonzero(seg.protected[lo:hi]))
-        seg.protected[lo:hi] = True
+        added = (hi - lo) - int(np.count_nonzero(seg.protected[lo:hi]))
+        if added:
+            seg.n_protected += added
+            seg.protected[lo:hi] = True
+            self.epoch += 1
         return hi - lo
 
     def unprotect_pages(self, pages: np.ndarray) -> None:
@@ -376,8 +390,11 @@ class PageTable:
         for si in np.unique(seg_idx):
             seg = self._segments[int(self._ids[si])]
             local = pages[seg_idx == si] - seg.start_page
-            seg.n_protected -= int(np.count_nonzero(seg.protected[local]))
-            seg.protected[local] = False
+            cleared = int(np.count_nonzero(seg.protected[local]))
+            if cleared:
+                seg.n_protected -= cleared
+                seg.protected[local] = False
+                self.epoch += 1
 
     def protected_mask(self, pages: np.ndarray) -> np.ndarray:
         """Boolean mask: which of ``pages`` are currently protected."""
@@ -450,6 +467,7 @@ class PageTable:
         else:  # pragma: no cover
             raise AllocationError(f"unknown policy {policy}")
         seg.n_unbound = int(np.count_nonzero(seg.domains == UNBOUND))
+        self.epoch += 1
 
     # ------------------------------------------------------------------ #
     # statistics

@@ -76,6 +76,8 @@ class ParallelEngine:
         params: dict | None = None,
         seed: int = 0,
         force_sharded: bool = False,
+        memoize: bool = True,
+        memo_bytes: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ProgramError(f"n_workers must be >= 1, got {n_workers}")
@@ -89,6 +91,11 @@ class ParallelEngine:
         self.params = params
         self.seed = seed
         self.force_sharded = force_sharded
+        #: Iteration memoization, forwarded to every shard engine (and
+        #: the serial fallback); page-table epochs replay identically
+        #: across shards, so cached classification survives sharding.
+        self.memoize = bool(memoize)
+        self.memo_bytes = memo_bytes
         self.archive = None
         self.threads = None
         self._ran = False
@@ -123,6 +130,8 @@ class ParallelEngine:
             monitor=monitor,
             params=self.params,
             seed=self.seed,
+            memoize=self.memoize,
+            memo_bytes=self.memo_bytes,
         )
         result = engine.run()
         self.threads = engine.threads
@@ -166,7 +175,7 @@ class ParallelEngine:
         spec = (
             self.machine_factory, self.program_factory, self.n_threads,
             self.binding, self.monitor_factory, self.params, self.seed,
-            n_workers,
+            n_workers, self.memoize, self.memo_bytes,
         )
         executor = ProcessPoolExecutor(
             max_workers=n_workers,

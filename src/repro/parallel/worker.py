@@ -79,6 +79,8 @@ class ShardEngine(ExecutionEngine):
         self._iter_states: list | None = None
         self._iter_owned: list | None = None
         self._iter_region = None
+        self._iter_region_idx: int | None = None
+        self._iter_use_memo = False
 
     def owns(self, tid: int) -> bool:
         """Whether this shard executes (and attributes) thread ``tid``."""
@@ -121,34 +123,60 @@ class ShardEngine(ExecutionEngine):
             self.callstacks[t.tid].push(region.src)
             if self.monitor is not None:
                 self.monitor.on_region_enter(t.tid, region, iteration)
-        iters = {t.tid: iter(region.kernel(self.ctx, t.tid)) for t in owned}
 
-        steps: list[list] = []
-        while iters:
-            step = []
-            for t in owned:
-                if t.tid not in iters:
-                    continue
-                try:
-                    step.append((t, next(iters[t.tid])))
-                except StopIteration:
-                    del iters[t.tid]
-            if not step:
-                break
-            steps.append(step)
+        memo = self.memo
+        use_memo = memo is not None and region.repeat > 1 and region.memoize
+        cached = memo.gen_get(region_idx) if use_memo else None
+        if cached is not None:
+            steps, n_chunks, n_mem, acc_sum = cached
+        else:
+            iters = {
+                t.tid: iter(region.kernel(self.ctx, t.tid)) for t in owned
+            }
+            steps = []
+            while iters:
+                step = []
+                for t in owned:
+                    if t.tid not in iters:
+                        continue
+                    try:
+                        step.append((t, next(iters[t.tid])))
+                    except StopIteration:
+                        del iters[t.tid]
+                if not step:
+                    break
+                steps.append(step)
 
+            n_chunks = np.zeros(len(steps), dtype=np.int64)
+            n_mem = np.zeros(len(steps), dtype=np.int64)
+            acc_sum = np.zeros(len(steps), dtype=np.int64)
+            for s, step in enumerate(steps):
+                n_chunks[s] = len(step)
+                for _, chunk in step:
+                    if chunk.var is None or not chunk.n_accesses:
+                        continue
+                    n_mem[s] += 1
+                    acc_sum[s] += chunk.n_accesses
+            if use_memo:
+                from repro.runtime.chunks import steps_nbytes
+
+                memo.gen_store(
+                    region_idx,
+                    (steps, n_chunks, n_mem, acc_sum),
+                    steps_nbytes(steps)
+                    + n_chunks.nbytes + n_mem.nbytes + acc_sum.nbytes,
+                )
+
+        # Page events are *not* cacheable: the protected/unbound counters
+        # are live machine state that drains as iterations bind pages, so
+        # the candidate check reruns against current counters every time
+        # (exactly like the serial engine's memo replay in _page_phase).
         page_size = self.machine.page_size
-        n_chunks = np.zeros(len(steps), dtype=np.int64)
-        n_mem = np.zeros(len(steps), dtype=np.int64)
-        acc_sum = np.zeros(len(steps), dtype=np.int64)
         events: list[tuple] = []
         for s, step in enumerate(steps):
-            n_chunks[s] = len(step)
             for t, chunk in step:
                 if chunk.var is None or not chunk.n_accesses:
                     continue
-                n_mem[s] += 1
-                acc_sum[s] += chunk.n_accesses
                 seg = chunk.var.segment
                 if seg.n_protected or seg.n_unbound:
                     pages = fast_unique(chunk.addrs // page_size)
@@ -159,6 +187,8 @@ class ShardEngine(ExecutionEngine):
         self._iter_steps = steps
         self._iter_owned = owned
         self._iter_region = (region, iteration)
+        self._iter_region_idx = region_idx
+        self._iter_use_memo = use_memo
         return {
             "n_chunks": n_chunks,
             "n_mem": n_mem,
@@ -184,6 +214,8 @@ class ShardEngine(ExecutionEngine):
         n_domains = self.machine.n_domains
         requests = np.zeros((n_steps, n_domains), dtype=np.int64)
         states: list[_StepMem] = []
+        memo = self.memo if self._iter_use_memo else None
+        region_idx = self._iter_region_idx
         ev_i = 0
         n_events = len(events)
         for s in range(n_steps):
@@ -209,7 +241,10 @@ class ShardEngine(ExecutionEngine):
                     continue
                 st.mem_idx.append(i)
                 st.trap_costs[i] = trap_by_tid.get(t.tid, 0.0)
-            self._classify_phase(step, st, batched=bool(batched_flags[s]))
+            rec = memo.record(region_idx, s) if memo is not None else None
+            self._classify_phase(
+                step, st, batched=bool(batched_flags[s]), rec=rec
+            )
             requests[s] = st.step_requests
             states.append(st)
         self._iter_states = states
@@ -253,6 +288,8 @@ class ShardEngine(ExecutionEngine):
             if self.monitor is not None:
                 self.monitor.on_region_exit(t.tid, region, iteration)
             self.callstacks[t.tid].pop()
+        if self.memo is not None and iteration == region.repeat - 1:
+            self.memo.release_region(self._iter_region_idx)
         self._iter_steps = None
         self._iter_states = None
         self._iter_owned = None
@@ -331,7 +368,7 @@ def _init_worker(claim_queue, barrier, spec) -> None:
         tr.enable(clear=True)
     (
         machine_factory, program_factory, n_threads, binding,
-        monitor_factory, params, seed, n_shards,
+        monitor_factory, params, seed, n_shards, memoize, memo_bytes,
     ) = spec
     monitor = monitor_factory() if monitor_factory is not None else None
     engine = ShardEngine(
@@ -344,6 +381,8 @@ def _init_worker(claim_queue, barrier, spec) -> None:
         monitor=monitor,
         params=params,
         seed=seed,
+        memoize=memoize,
+        memo_bytes=memo_bytes,
     )
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard

@@ -71,6 +71,15 @@ class NumaProfiler(Monitor):
         Base seed for the mechanism's per-thread jitter streams
         (forwarded to :meth:`SamplingMechanism.configure`); sharded and
         serial runs must use the same value to stay bit-identical.
+    memoize:
+        When true (the default), :meth:`on_step` takes a vectorized
+        accumulation path over the engine's cached
+        :class:`~repro.runtime.memo.StepViews` (interned accumulator-row
+        indices and per-step count arrays are cached on the views
+        object). Sampling itself is never cached — only the bookkeeping
+        around it — and the accumulated values are bit-identical to the
+        per-view loop (each row receives exactly one add per step either
+        way). ``False`` forces the reference loop for debugging.
     """
 
     #: Trap-handler cost per faulting page (attribution + re-mprotect),
@@ -88,6 +97,7 @@ class NumaProfiler(Monitor):
         protect_stack: bool = False,
         deferred: bool = True,
         seed: int = 0x1B5,
+        memoize: bool = True,
     ) -> None:
         self.mechanism = mechanism
         self.n_bins = n_bins
@@ -95,6 +105,7 @@ class NumaProfiler(Monitor):
         self.protect_static = protect_static
         self.protect_stack = protect_stack
         self.deferred = deferred
+        self.memoize = bool(memoize)
         self.seed = int(seed)
         self.registry = VariableRegistry()
         self.archive: ProfileArchive | None = None
@@ -271,52 +282,63 @@ class NumaProfiler(Monitor):
         crows: list[int] = []
         sampled: list[tuple] = []
 
-        for k, v in enumerate(views):
-            chunk = v.chunk
-            tid = v.tid
-            n_ins = chunk.n_instructions
-            n_acc = chunk.n_accesses
-            n_s = int(counts[k])
-            c = ctr[tid]
-            c[0] += n_ins
-            c[1] += n_acc
-            c[2] += n_s
-            c[3] += nsi[k]
-            c[4] += nev[k]
-            ctr_seen[tid] = True
+        if (
+            self.memoize
+            and views
+            and getattr(views, "tids", None) is not None
+        ):
+            crows, sampled = self._accumulate_memo(
+                views, step, counting, lat_ok
+            )
+        else:
+            for k, v in enumerate(views):
+                chunk = v.chunk
+                tid = v.tid
+                n_ins = chunk.n_instructions
+                n_acc = chunk.n_accesses
+                n_s = int(counts[k])
+                c = ctr[tid]
+                c[0] += n_ins
+                c[1] += n_acc
+                c[2] += n_s
+                c[3] += nsi[k]
+                c[4] += nev[k]
+                ctr_seen[tid] = True
 
-            remote_events = 0
-            if counting and n_acc:
-                remote_events = v.remote_event_count()
+                remote_events = 0
+                if counting and n_acc:
+                    remote_events = v.remote_event_count()
 
-            key = (tid, v.path)
-            crow = code_rows.get(key)
-            if crow is None:
-                crow = code_rows[key] = ctab.alloc()
+                key = (tid, v.path)
+                crow = code_rows.get(key)
+                if crow is None:
+                    crow = code_rows[key] = ctab.alloc()
 
-            if n_s == 0:
-                row = ctab.data[crow]
-                row[0] += n_ins
-                row[1] += nsi[k]
-                row[7] += remote_events
-                continue
+                if n_s == 0:
+                    row = ctab.data[crow]
+                    row[0] += n_ins
+                    row[1] += nsi[k]
+                    row[7] += remote_events
+                    continue
 
-            idx = indices[starts[k]:starts[k + 1]]
-            s_targets, remote, s_lat = v.gather_samples(idx, want_lat=lat_ok)
-            n_rem = int(np.count_nonzero(remote))
-            m = np.zeros(n_cols, dtype=np.float64)
-            m[0] = n_ins
-            m[1] = nsi[k]
-            m[2] = n_s
-            m[3] = n_s - n_rem
-            m[4] = n_rem
-            m[7] = remote_events
-            m[8:] = np.bincount(s_targets, minlength=n_cols - 8)
-            if lat_ok:
-                m[5] = s_lat.sum()
-                m[6] = s_lat[remote].sum()
-            crows.append(crow)
-            sampled.append((v, chunk.addrs[idx], remote, s_lat, m))
+                idx = indices[starts[k]:starts[k + 1]]
+                s_targets, remote, s_lat = v.gather_samples(
+                    idx, want_lat=lat_ok
+                )
+                n_rem = int(np.count_nonzero(remote))
+                m = np.zeros(n_cols, dtype=np.float64)
+                m[0] = n_ins
+                m[1] = nsi[k]
+                m[2] = n_s
+                m[3] = n_s - n_rem
+                m[4] = n_rem
+                m[7] = remote_events
+                m[8:] = np.bincount(s_targets, minlength=n_cols - 8)
+                if lat_ok:
+                    m[5] = s_lat.sum()
+                    m[6] = s_lat[remote].sum()
+                crows.append(crow)
+                sampled.append((v, chunk.addrs[idx], remote, s_lat, m))
 
         if sampled:
             if traced:
@@ -328,6 +350,96 @@ class NumaProfiler(Monitor):
         if traced:
             tr.end()
         return costs
+
+    def _accumulate_memo(
+        self, views, step, counting: bool, lat_ok: bool
+    ) -> tuple[list[int], list[tuple]]:
+        """Vectorized twin of the :meth:`on_step` per-view loop.
+
+        Runs when the engine replays a cached
+        :class:`~repro.runtime.memo.StepViews` (same views object every
+        iteration of a region): accumulator-row indices and the
+        remote-event counts are interned/computed once and cached on
+        ``views.memo``, the per-thread counter adds and the unsampled
+        code-row adds become fancy-indexed array adds, and only views
+        that actually drew samples are visited in Python. Every counter
+        row and code row belongs to a distinct thread within a step, so
+        each target row receives exactly one add per step in both paths
+        — the accumulated floats are bit-identical to the loop's.
+        """
+        prof = views.memo.get("prof")
+        if prof is None:
+            code_rows = self._code_rows
+            ctab = self._code_tab
+            crow_arr = np.empty(len(views), dtype=np.int64)
+            for k, v in enumerate(views):
+                key = (v.tid, v.path)
+                crow = code_rows.get(key)
+                if crow is None:
+                    crow = code_rows[key] = ctab.alloc()
+                crow_arr[k] = crow
+            rev = None
+            if counting:
+                rev = np.fromiter(
+                    (
+                        v.remote_event_count() if v.chunk.n_accesses else 0
+                        for v in views
+                    ),
+                    np.float64,
+                    len(views),
+                )
+            prof = views.memo["prof"] = (crow_arr, rev)
+        crow_arr, rev = prof
+
+        tids = views.tids
+        n_ins = views.n_ins
+        counts = step.counts
+        nsi = step.n_sampled_instructions
+        add = np.empty((len(views), 5), dtype=np.float64)
+        add[:, 0] = n_ins
+        add[:, 1] = views.n_acc
+        add[:, 2] = counts
+        add[:, 3] = nsi
+        add[:, 4] = step.n_events_total
+        self._ctr[tids] += add
+        self._ctr_seen[tids] = True
+
+        unsampled = np.nonzero(counts == 0)[0]
+        data = self._code_tab.data
+        rows_u = crow_arr[unsampled]
+        data[rows_u, 0] += n_ins[unsampled]
+        data[rows_u, 1] += nsi[unsampled]
+        if rev is not None:
+            data[rows_u, 7] += rev[unsampled]
+
+        crows: list[int] = []
+        sampled: list[tuple] = []
+        if step.n_samples == 0:
+            return crows, sampled
+        indices = step.indices
+        starts = step.starts
+        n_cols = self._n_cols
+        for k in np.nonzero(counts)[0].tolist():
+            v = views[k]
+            n_s = int(counts[k])
+            idx = indices[starts[k]:starts[k + 1]]
+            s_targets, remote, s_lat = v.gather_samples(idx, want_lat=lat_ok)
+            n_rem = int(np.count_nonzero(remote))
+            m = np.zeros(n_cols, dtype=np.float64)
+            m[0] = n_ins[k]
+            m[1] = nsi[k]
+            m[2] = n_s
+            m[3] = n_s - n_rem
+            m[4] = n_rem
+            if rev is not None:
+                m[7] = rev[k]
+            m[8:] = np.bincount(s_targets, minlength=n_cols - 8)
+            if lat_ok:
+                m[5] = s_lat.sum()
+                m[6] = s_lat[remote].sum()
+            crows.append(int(crow_arr[k]))
+            sampled.append((v, v.chunk.addrs[idx], remote, s_lat, m))
+        return crows, sampled
 
     def _record_step_samples(
         self, sampled: list[tuple], crows: list[int], lat_ok: bool

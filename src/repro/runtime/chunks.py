@@ -67,6 +67,21 @@ class AccessChunk:
         """Number of memory accesses in the chunk."""
         return int(self.addrs.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by this chunk's address array (memo accounting)."""
+        return int(self.addrs.nbytes)
+
+
+def steps_nbytes(steps) -> int:
+    """Total address bytes across a region's pre-drawn step list.
+
+    Used by the engine's iteration memo to account the cached chunk
+    trace (``steps`` is a list of ``[(thread, chunk), ...]`` step
+    lists).
+    """
+    return sum(c.nbytes for step in steps for _, c in step)
+
 
 def compute_chunk(n_instructions: int, ip: SourceLoc) -> AccessChunk:
     """A chunk of pure computation (no memory traffic)."""

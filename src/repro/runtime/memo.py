@@ -1,0 +1,280 @@
+"""Iteration memoization for the execution engine.
+
+A region with ``repeat > 1`` re-executes a *deterministic* per-thread
+chunk stream: the generated addresses, the chunk partitioning, and the
+pure half of classification are identical on every iteration. What can
+change between iterations is (a) page placement — first-touch binding,
+migration, protection — and (b) the cache model's reuse-distance state
+and the step's contention inflation. The memo layer caches exactly the
+invariant parts and keys the variant parts on what they depend on:
+
+* **Generated steps** (the region's chunk trace) are cached once per
+  region. This is the same working set the sharded engine already holds
+  per iteration (it pre-draws every step before classifying), so it is
+  bounded by the program itself and tracked separately from the byte
+  budget below.
+* **Pure classification products** (:class:`PureStep`) — line-fetch
+  masks, footprints, sequentiality, chunk geometry — are a pure
+  function of the addresses and cached unconditionally per step.
+* **Classification variants** (:class:`ClassifyVariant`) — per-access
+  service levels, page owners, DRAM/remote masks, traffic — are keyed
+  by ``(page-table epoch, per-chunk fetch levels)``. The reuse-distance
+  lookup itself (:meth:`CacheHierarchy.step_fetch_levels`) runs live on
+  every iteration; its result is part of the key, so a cache-state
+  change simply selects (or builds) a different variant. An epoch bump
+  — any page-table mutation — invalidates by the same mechanism.
+* **Latency variants** (:class:`LatVariant`) — per-access latencies and
+  per-chunk latency sums — are keyed by the step's exact contention
+  inflation vector (``inflation.tobytes()``) within their
+  classification variant.
+* **Monitor views** are cached per latency variant; sampling,
+  CCT attribution, and accounting always run live on them, so
+  measurement is never cached — only the inputs it observes.
+
+Derived products (everything except the generated steps) are bounded by
+a least-recently-used byte budget (default 64 MB). Eviction is safe by
+construction: an evicted step record is rebuilt from the deterministic
+trace with bit-identical contents, so memo-on results never depend on
+the budget. See MODEL.md ("Epoch and invalidation contract").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import obs
+
+#: Default byte budget for derived (classification/latency/view) caches.
+DEFAULT_MEMO_BYTES = 64 * 1024 * 1024
+
+
+def _nbytes(*objs) -> int:
+    """Total nbytes of the ndarray members of ``objs`` (lists descend)."""
+    total = 0
+    for o in objs:
+        if isinstance(o, np.ndarray):
+            total += o.nbytes
+        elif isinstance(o, (list, tuple)):
+            for x in o:
+                if isinstance(x, np.ndarray):
+                    total += x.nbytes
+    return total
+
+
+class StepViews(list):
+    """A step's monitor views plus cached per-step invariant arrays.
+
+    Behaves exactly like the plain ``list`` of views the engine hands to
+    ``Monitor.on_step`` — monitors that don't know about it see a list.
+    Batch-aware monitors use the extra arrays (one entry per view, in
+    view order) instead of re-deriving them with per-view Python loops
+    every iteration, and may stash their own per-step invariants in
+    ``memo`` (keyed by consumer).
+    """
+
+    __slots__ = ("tids", "n_ins", "n_acc", "memo")
+
+    def __init__(self, views, tids, n_ins, n_acc) -> None:
+        super().__init__(views)
+        self.tids = tids
+        self.n_ins = n_ins
+        self.n_acc = n_acc
+        self.memo: dict = {}
+
+    @classmethod
+    def from_views(cls, views) -> "StepViews":
+        n = len(views)
+        tids = np.fromiter((v.tid for v in views), dtype=np.int64, count=n)
+        n_ins = np.fromiter(
+            (v.chunk.n_instructions for v in views), dtype=np.int64, count=n
+        )
+        n_acc = np.fromiter(
+            (v.chunk.n_accesses for v in views), dtype=np.int64, count=n
+        )
+        return cls(views, tids, n_ins, n_acc)
+
+
+class PureStep:
+    """Iteration-invariant products of one step (pure functions of it).
+
+    ``batched`` selects which fields are populated: the batched
+    small-chunk path keeps step-wide concatenated arrays, the summary
+    large-chunk path keeps per-chunk lists.
+    """
+
+    __slots__ = (
+        "mem_idx", "mem", "batched",
+        "lengths", "starts", "interleaved", "interleaved_arr",
+        "acc_domains", "cpus", "seg_ids", "segs",
+        # batched path (step-wide):
+        "fetch", "sequential", "footprints", "first_addrs",
+        # summary path (per mem chunk):
+        "chunk_fetch", "chunk_seq_flags", "chunk_fp", "chunk_first",
+        "chunk_fidx",
+        "nbytes",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, None)
+        self.nbytes = 0
+
+
+class ClassifyVariant:
+    """Placement-dependent classification products for one epoch/levels key."""
+
+    __slots__ = (
+        # batched path (step-wide):
+        "levels", "targets_cat", "dram_cat", "remote_cat",
+        "chunk_levels", "chunk_targets", "chunk_seq",
+        "chunk_dram", "chunk_remote",
+        # summary path (per mem chunk):
+        "summaries", "fidx", "dram_targets",
+        # both:
+        "step_requests", "dram", "remote_dram", "traffic",
+        "serial_inflation", "lats", "nbytes",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, None)
+        self.lats: dict = {}
+        self.nbytes = 0
+
+
+class LatVariant:
+    """Inflation-dependent latency products within one classify variant."""
+
+    __slots__ = ("lat_sums", "chunk_lat", "views", "nbytes")
+
+    def __init__(self, lat_sums, chunk_lat, nbytes) -> None:
+        self.lat_sums = lat_sums
+        self.chunk_lat = chunk_lat
+        self.views: StepViews | None = None
+        self.nbytes = nbytes
+
+
+class StepRecord:
+    """All cached products for one (region, step) position."""
+
+    __slots__ = ("key", "pure", "variants", "nbytes")
+
+    def __init__(self, key) -> None:
+        self.key = key
+        self.pure: PureStep | None = None
+        self.variants: dict = {}
+        self.nbytes = 0
+
+
+class IterationMemo:
+    """Byte-budgeted LRU store of per-step records plus generated steps.
+
+    Step records (derived classification/latency/view products) count
+    against ``budget_bytes`` and are evicted least-recently-used; the
+    record currently being filled is never evicted, so with a tiny
+    budget the memo degrades to recompute-every-step, never to wrong
+    results. Generated step traces are tracked separately (they mirror
+    the sharded engine's per-iteration working set) and are dropped when
+    their region completes, as are the region's records.
+    """
+
+    def __init__(self, budget_bytes: int | None = None) -> None:
+        self.budget = (
+            DEFAULT_MEMO_BYTES if budget_bytes is None else int(budget_bytes)
+        )
+        self._records: OrderedDict = OrderedDict()
+        self._gen: dict = {}
+        self._rec_bytes = 0
+        self._gen_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- counters ------------------------------------------------------ #
+
+    def hit(self) -> None:
+        self.hits += 1
+        obs.TRACER.count("engine.memo.hits")
+
+    def miss(self) -> None:
+        self.misses += 1
+        obs.TRACER.count("engine.memo.misses")
+
+    def _gauge(self) -> None:
+        obs.TRACER.gauge(
+            "engine.memo.bytes", float(self._rec_bytes + self._gen_bytes)
+        )
+
+    # -- step records -------------------------------------------------- #
+
+    def record(self, region_idx: int, step_idx: int) -> StepRecord:
+        """Get-or-create the record for one step; touches LRU order."""
+        key = (region_idx, step_idx)
+        rec = self._records.get(key)
+        if rec is None:
+            rec = StepRecord(key)
+            self._records[key] = rec
+        else:
+            self._records.move_to_end(key)
+        return rec
+
+    def charge(self, rec: StepRecord, delta: int) -> None:
+        """Account ``delta`` bytes to ``rec``; evict LRU if over budget."""
+        rec.nbytes += delta
+        self._rec_bytes += delta
+        if self._rec_bytes > self.budget:
+            self._evict(keep=rec)
+        self._gauge()
+
+    def _evict(self, keep: StepRecord) -> None:
+        for key in list(self._records):
+            if self._rec_bytes <= self.budget:
+                break
+            rec = self._records[key]
+            if rec is keep:
+                continue
+            del self._records[key]
+            self._rec_bytes -= rec.nbytes
+            self.evictions += 1
+            obs.TRACER.count("engine.memo.evicted")
+
+    # -- generated step traces ----------------------------------------- #
+
+    def gen_get(self, region_idx: int):
+        """Cached pre-drawn steps (plus payload) for a region, or None."""
+        got = self._gen.get(region_idx)
+        if got is None:
+            self.miss()
+            return None
+        self.hit()
+        return got[0]
+
+    def gen_store(self, region_idx: int, payload, nbytes: int) -> None:
+        self._gen[region_idx] = (payload, int(nbytes))
+        self._gen_bytes += int(nbytes)
+        self._gauge()
+
+    def release_region(self, region_idx: int) -> None:
+        """Drop a completed region's generated trace and step records."""
+        got = self._gen.pop(region_idx, None)
+        if got is not None:
+            self._gen_bytes -= got[1]
+        for key in [k for k in self._records if k[0] == region_idx]:
+            self._rec_bytes -= self._records.pop(key).nbytes
+        self._gauge()
+
+    # -- reporting ----------------------------------------------------- #
+
+    def stats(self) -> dict:
+        """Counters and occupancy for bench / observability reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "record_bytes": self._rec_bytes,
+            "gen_bytes": self._gen_bytes,
+            "budget_bytes": self.budget,
+            "records": len(self._records),
+        }

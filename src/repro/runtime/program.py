@@ -43,6 +43,14 @@ class Region:
     ``repeat`` runs the region multiple times back to back (time steps,
     solver iterations); each repetition re-enters/exits the region frame
     so code-centric attribution aggregates across iterations.
+
+    ``memoize`` opts the region into the engine's iteration memoization
+    (see :mod:`repro.runtime.memo`): the kernel's chunk stream is
+    generated once and replayed on later iterations. Correct for any
+    kernel whose stream is a deterministic function of ``(ctx, tid)`` —
+    all bundled workloads — but must be set to ``False`` for kernels
+    that read mutable machine state (page placement, cache state)
+    *during* generation and expect per-iteration re-evaluation.
     """
 
     name: str
@@ -50,6 +58,7 @@ class Region:
     kernel: Kernel
     src: SourceLoc
     repeat: int = 1
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         if self.repeat <= 0:

@@ -363,12 +363,16 @@ class SamplingMechanism(abc.ABC):
         step-wide arrays; subclasses that override :meth:`cost_cycles`
         must override this too (and keep the two in exact agreement).
         """
-        n_acc = np.fromiter(
-            (v.chunk.n_accesses for v in views), np.int64, len(views)
-        )
-        n_ins = np.fromiter(
-            (v.chunk.n_instructions for v in views), np.int64, len(views)
-        )
+        n_acc = getattr(views, "n_acc", None)
+        if n_acc is None:
+            n_acc = np.fromiter(
+                (v.chunk.n_accesses for v in views), np.int64, len(views)
+            )
+            n_ins = np.fromiter(
+                (v.chunk.n_instructions for v in views), np.int64, len(views)
+            )
+        else:
+            n_ins = views.n_ins
         return (
             step.n_sampled_instructions * self.per_sample_cycles
             + n_acc * self.per_access_cycles
@@ -427,7 +431,9 @@ class SamplingMechanism(abc.ABC):
         ev_counts = csum[arr_starts[1:]] - csum[arr_starts[:-1]]
         ev_offsets = _starts_from_counts(ev_counts)
 
-        tids = [v.tid for v in views]
+        tids = getattr(views, "tids", None)
+        if tids is None:
+            tids = [v.tid for v in views]
         carries = self._step_carries(tids)
         positions, rows, counts, new_carries = periodic_positions_step(
             carries, ev_counts, self.period
@@ -529,11 +535,20 @@ class InstructionSamplingMixin:
         Returns ``(access_idx_cat, counts, n_positions, n_acc, n_ins)``.
         """
         n = len(views)
-        n_ins = np.fromiter(
-            (v.chunk.n_instructions for v in views), np.int64, n
-        )
-        n_acc = np.fromiter((v.chunk.n_accesses for v in views), np.int64, n)
-        tids = [v.tid for v in views]
+        n_ins = getattr(views, "n_ins", None)
+        if n_ins is None:
+            n_ins = np.fromiter(
+                (v.chunk.n_instructions for v in views), np.int64, n
+            )
+            n_acc = np.fromiter(
+                (v.chunk.n_accesses for v in views), np.int64, n
+            )
+            tids = [v.tid for v in views]
+        else:
+            # Engine memo replay: the cached StepViews carries the step's
+            # per-chunk counts pre-extracted (see repro.runtime.memo).
+            n_acc = views.n_acc
+            tids = views.tids
         carries = self._step_carries(tids)
         positions, rows, n_positions, new_carries = periodic_positions_step(
             carries, n_ins, self.period
