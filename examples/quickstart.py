@@ -62,7 +62,7 @@ def main() -> None:
     analysis = NumaAnalysis(merged)
     lpi = analysis.program_lpi()
     print(f"lpi_NUMA = {lpi:.3f} cycles/instruction "
-          f"({'ABOVE' if lpi > 0.1 else 'below'} the 0.1 threshold)\n")
+          f"({'ABOVE' if lpi >= 0.1 else 'below'} the 0.1 threshold)\n")
 
     # ---- 3. the three views ------------------------------------------ #
     print(code_centric_view(merged, max_depth=3), "\n")

@@ -14,6 +14,7 @@ Examples::
     python -m repro sweep --threads 16 --machine generic
     python -m repro lulesh --trace out.trace.json --stats   # self-telemetry
     python -m repro bench-perf --scale 0.25   # hot-path perf regression check
+    python -m repro autotune lulesh --out results/autotune   # closed loop
 """
 
 from __future__ import annotations
@@ -162,6 +163,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.perf import main as bench_perf_main
 
         return bench_perf_main(argv[1:])
+    if argv and argv[0] == "autotune":
+        from repro.optim.autotune import main as autotune_main
+
+        return autotune_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs.configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
@@ -251,7 +256,7 @@ def _run(args: argparse.Namespace) -> int:
         return rc
     lpi = analysis.program_lpi()
     if lpi is not None:
-        verdict = "optimize" if lpi > 0.1 else "not worth optimizing"
+        verdict = "optimize" if lpi >= 0.1 else "not worth optimizing"
         print(f"lpi_NUMA = {lpi:.3f} ({verdict}; threshold 0.1)\n")
     else:
         print(f"lpi_NUMA unavailable ({mech_name} measures no latency); "

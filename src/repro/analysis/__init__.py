@@ -13,7 +13,7 @@
 """
 
 from repro.analysis.merge import MergedProfile, MergedVar, merge_profiles, merge_ranges
-from repro.analysis.io import load_archive, save_archive
+from repro.analysis.io import export_heatmap_csvs, load_archive, save_archive
 from repro.analysis.diff import ProfileDiff, VariableDelta, diff_profiles
 from repro.analysis.report import full_report
 from repro.analysis.analyzer import NumaAnalysis
@@ -37,6 +37,7 @@ __all__ = [
     "merge_ranges",
     "load_archive",
     "save_archive",
+    "export_heatmap_csvs",
     "ProfileDiff",
     "VariableDelta",
     "diff_profiles",

@@ -132,14 +132,14 @@ def _advise(
 ) -> Advice:
     merged = analysis.merged
     lpi = analysis.program_lpi()
-    if lpi is not None and lpi <= lpi_threshold:
+    if lpi is not None and lpi < lpi_threshold:
         return Advice(
             program=merged.program,
             lpi=lpi,
             worth_optimizing=False,
             recommendations=[],
             rationale=(
-                f"whole-program lpi_NUMA = {lpi:.3f} <= {lpi_threshold}: NUMA "
+                f"whole-program lpi_NUMA = {lpi:.3f} < {lpi_threshold}: NUMA "
                 "losses are too small for optimization to pay off"
             ),
         )
@@ -184,7 +184,7 @@ def _advise(
 
     if lpi is not None:
         verdict = (
-            f"whole-program lpi_NUMA = {lpi:.3f} > {lpi_threshold}: NUMA "
+            f"whole-program lpi_NUMA = {lpi:.3f} >= {lpi_threshold}: NUMA "
             "losses warrant optimization"
         )
     else:

@@ -20,19 +20,30 @@ from repro.profiler.metrics import MetricNames, mismatch_ratio, remote_fraction
 
 @dataclass(frozen=True)
 class VariableDelta:
-    """Metric movement for one variable between two profiles."""
+    """Metric movement for one variable between two profiles.
+
+    A variable absent from one side (e.g. allocated only after a code
+    restructure) carries ``None`` for that side's metrics — distinct
+    from 0.0, which means "present and perfectly local".
+    """
 
     name: str
-    remote_fraction_before: float
-    remote_fraction_after: float
-    mismatch_before: float
-    mismatch_after: float
+    remote_fraction_before: float | None
+    remote_fraction_after: float | None
+    mismatch_before: float | None
+    mismatch_after: float | None
     samples_before: float
     samples_after: float
 
     @property
-    def remote_fraction_delta(self) -> float:
-        """Negative = less remote traffic after the change."""
+    def remote_fraction_delta(self) -> float | None:
+        """Negative = less remote traffic after the change.
+
+        ``None`` when the variable is missing from either side: there is
+        no movement to report, only appearance or disappearance.
+        """
+        if self.remote_fraction_before is None or self.remote_fraction_after is None:
+            return None
         return self.remote_fraction_after - self.remote_fraction_before
 
 
@@ -68,13 +79,22 @@ class ProfileDiff:
         header = f"  {'variable':<18}{'remote before':>14}{'after':>9}{'Mr/Ml before':>14}{'after':>9}"
         lines.append(header)
         for v in self.variables:
-            mb = "inf" if v.mismatch_before == float("inf") else f"{v.mismatch_before:.1f}"
-            ma = "inf" if v.mismatch_after == float("inf") else f"{v.mismatch_after:.1f}"
-            lines.append(
-                f"  {v.name:<18}{v.remote_fraction_before:>13.1%}"
-                f"{v.remote_fraction_after:>9.1%}{mb:>14}{ma:>9}"
-            )
+            rb = _fmt_pct(v.remote_fraction_before)
+            ra = _fmt_pct(v.remote_fraction_after)
+            mb = _fmt_ratio(v.mismatch_before)
+            ma = _fmt_ratio(v.mismatch_after)
+            lines.append(f"  {v.name:<18}{rb:>14}{ra:>9}{mb:>14}{ma:>9}")
         return "\n".join(lines)
+
+
+def _fmt_pct(value: float | None) -> str:
+    return "-" if value is None else f"{value:.1%}"
+
+
+def _fmt_ratio(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return "inf" if value == float("inf") else f"{value:.1f}"
 
 
 def diff_profiles(before: MergedProfile, after: MergedProfile) -> ProfileDiff:
@@ -88,10 +108,10 @@ def diff_profiles(before: MergedProfile, after: MergedProfile) -> ProfileDiff:
         deltas.append(
             VariableDelta(
                 name=name,
-                remote_fraction_before=remote_fraction(mb.metrics) if mb else 0.0,
-                remote_fraction_after=remote_fraction(ma.metrics) if ma else 0.0,
-                mismatch_before=mismatch_ratio(mb.metrics) if mb else 0.0,
-                mismatch_after=mismatch_ratio(ma.metrics) if ma else 0.0,
+                remote_fraction_before=remote_fraction(mb.metrics) if mb else None,
+                remote_fraction_after=remote_fraction(ma.metrics) if ma else None,
+                mismatch_before=mismatch_ratio(mb.metrics) if mb else None,
+                mismatch_after=mismatch_ratio(ma.metrics) if ma else None,
                 samples_before=(
                     mb.metrics.get(MetricNames.SAMPLES, 0.0) if mb else 0.0
                 ),

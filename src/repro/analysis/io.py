@@ -158,6 +158,9 @@ def save_archive(archive: ProfileArchive, path: str | Path) -> Path:
                 "vars": {name: _var_record(r) for name, r in p.vars.items()},
                 "first_touches": [_first_touch(ft) for ft in p.first_touches],
                 "counters": dict(p.counters),
+                "page_heat": {
+                    str(page): row for page, row in p.page_heat.items()
+                },
             }
             for tid, p in archive.profiles.items()
         },
@@ -202,5 +205,67 @@ def load_archive(path: str | Path) -> ProfileArchive:
             _unfirst_touch(ft) for ft in pdoc["first_touches"]
         ]
         profile.counters.update(pdoc["counters"])
+        # Absent in archives written before the heatmap existed.
+        profile.page_heat = {
+            int(page): row
+            for page, row in pdoc.get("page_heat", {}).items()
+        }
         archive.profiles[int(tid_str)] = profile
     return archive
+
+
+# ---------------------------------------------------------------------- #
+# heatmap export
+# ---------------------------------------------------------------------- #
+
+#: Column-0 header of both heatmap CSVs (golden-tested schema).
+HEATMAP_PAGE_COLUMN = "page"
+
+
+def export_heatmap_csvs(archive: ProfileArchive, out_dir: str | Path) -> list[Path]:
+    """Write Migration-Profiler-style page × thread heatmap CSVs.
+
+    Two wide-format files, one row per page touched by any thread, one
+    column per thread:
+
+    * ``heatmap_access.csv`` — sample counts;
+    * ``heatmap_latency.csv`` — mean sampled latency in cycles
+      (``lat_sum / count``, 0 where a thread never sampled the page or
+      the mechanism measures no latency).
+
+    Requires profiles collected with ``NumaProfiler(heatmap=True)``;
+    raises ``ValueError`` when no profile carries heat (an empty heatmap
+    artifact would silently read as "no remote traffic").
+    """
+    tids = sorted(archive.profiles)
+    if not any(archive.profiles[tid].page_heat for tid in tids):
+        raise ValueError(
+            "no page heat in archive — profile with NumaProfiler(heatmap=True)"
+        )
+    pages = sorted(
+        {page for tid in tids for page in archive.profiles[tid].page_heat}
+    )
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    header = ",".join([HEATMAP_PAGE_COLUMN] + [f"t{tid}" for tid in tids])
+
+    access_path = out_dir / "heatmap_access.csv"
+    latency_path = out_dir / "heatmap_latency.csv"
+    with open(access_path, "w") as acc_fh, open(latency_path, "w") as lat_fh:
+        acc_fh.write(header + "\n")
+        lat_fh.write(header + "\n")
+        for page in pages:
+            acc_row = [str(page)]
+            lat_row = [str(page)]
+            for tid in tids:
+                heat = archive.profiles[tid].page_heat.get(page)
+                if heat is None or heat[0] <= 0:
+                    acc_row.append("0")
+                    lat_row.append("0")
+                else:
+                    count, lat_sum = heat[0], heat[1]
+                    acc_row.append(f"{int(count)}")
+                    lat_row.append(f"{lat_sum / count:.2f}")
+            acc_fh.write(",".join(acc_row) + "\n")
+            lat_fh.write(",".join(lat_row) + "\n")
+    return [access_path, latency_path]

@@ -31,10 +31,10 @@ def _verdict(analysis: NumaAnalysis) -> str:
             f"lpi_NUMA unavailable (mechanism measures no latency); "
             f"remote fraction of sampled accesses = {rf:.1%}"
         )
-    side = "ABOVE" if lpi > LPI_THRESHOLD else "below"
+    side = "AT-OR-ABOVE" if lpi >= LPI_THRESHOLD else "below"
     action = (
         "NUMA losses warrant optimization"
-        if lpi > LPI_THRESHOLD
+        if lpi >= LPI_THRESHOLD
         else "NUMA optimization unlikely to pay off"
     )
     return (

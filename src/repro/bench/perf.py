@@ -420,6 +420,73 @@ def run_workers_sweep(
     return sweep
 
 
+#: Workloads measured by ``--autotune`` (the two case studies the
+#: closed loop's acceptance criteria name).
+AUTOTUNE_WORKLOADS = ("lulesh", "amg")
+
+
+def run_autotune_bench(
+    *,
+    preset: str = "magny_cours",
+    threads: int = 48,
+    mechanism: str = "IBS",
+    period: int = 4096,
+    scale: float = 1.0,
+    workload_names: tuple[str, ...] = AUTOTUNE_WORKLOADS,
+) -> dict:
+    """Closed-loop autotune pass: baseline vs autotuned simulated walls.
+
+    Runs :func:`repro.optim.autotune.autotune` per workload and records
+    the profiling-window (baseline) and re-verified (autotuned) simulated
+    wall seconds, the before/after ``lpi_NUMA`` and remote sampled
+    fraction, the migration log, and the host seconds the whole loop
+    took — the figure the "does closing the loop pay" question needs.
+
+    At smoke scales the working set turns cache-resident after the cold
+    iterations, so the simulated wall may not move even though the
+    sampled remote fraction does (the cache hides post-migration DRAM
+    traffic); wall speedups need sizes that exceed the cache.
+    """
+    from repro.__main__ import _builders
+    from repro.optim.autotune import AutotuneConfig, autotune
+    from repro.runtime.thread import BindingPolicy
+
+    machine_factory = presets.PRESETS[preset]
+    builders = _builders(scale)
+    bench: dict = {"workloads": {}}
+    for name in workload_names:
+        cfg = AutotuneConfig(
+            machine_factory=machine_factory,
+            program_factory=builders[name],
+            n_threads=threads,
+            binding=BindingPolicy.COMPACT,
+            mechanism_name=mechanism,
+            period=period,
+        )
+        t0 = time.perf_counter()
+        report = autotune(cfg)
+        host_s = time.perf_counter() - t0
+        bench["workloads"][name] = {
+            "host_s": host_s,
+            "baseline_wall_s": report.wall_seconds_before,
+            "autotuned_wall_s": report.wall_seconds_after,
+            "sim_speedup": (
+                report.wall_seconds_before / report.wall_seconds_after
+                if report.wall_seconds_after else 0.0
+            ),
+            "lpi_before": report.lpi_before,
+            "lpi_after": report.lpi_after,
+            "remote_before": report.remote_before,
+            "remote_after": report.remote_after,
+            "migrations_applied": sum(1 for a in report.applied if a["ok"]),
+            "migrations_failed": sum(
+                1 for a in report.applied if not a["ok"]
+            ),
+            "improved": report.improved,
+        }
+    return bench
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> dict:
     """Compare two ``bench-perf/v1`` documents by chunks/s throughput.
 
@@ -541,6 +608,34 @@ def render(doc: dict) -> str:
             pb_rows,
             title="phase breakdown — traced monitored runs",
         )
+    at = doc.get("autotune")
+    if at and at.get("workloads"):
+        at_rows = []
+        for name, entry in at["workloads"].items():
+            def pct(v):
+                return f"{v:.1%}" if v is not None else "-"
+
+            def lpi(v):
+                return f"{v:.3f}" if v is not None else "-"
+
+            at_rows.append([
+                name,
+                f"{entry['baseline_wall_s'] * 1e3:.2f}ms",
+                f"{entry['autotuned_wall_s'] * 1e3:.2f}ms",
+                f"{entry['sim_speedup']:.2f}x",
+                f"{lpi(entry['lpi_before'])}->{lpi(entry['lpi_after'])}",
+                f"{pct(entry['remote_before'])}->{pct(entry['remote_after'])}",
+                f"{entry['migrations_applied']}"
+                + (f" (+{entry['migrations_failed']} failed)"
+                   if entry["migrations_failed"] else ""),
+            ])
+        table += "\n\n" + fmt_table(
+            ["workload", "baseline", "autotuned", "speedup", "lpi",
+             "remote", "migrations"],
+            at_rows,
+            title="autotune — simulated walls, profiling window vs "
+            "live-migrated re-run",
+        )
     sweep = doc.get("workers_sweep")
     if sweep and sweep.get("workloads"):
         sweep_rows = []
@@ -596,6 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--phase-breakdown", action="store_true",
                         help="add one traced monitored run per workload and "
                         "record per-phase self-times in the output JSON")
+    parser.add_argument("--autotune", action="store_true",
+                        help="also run the closed autotune loop on "
+                        f"{list(AUTOTUNE_WORKLOADS)} and record baseline "
+                        "vs autotuned simulated walls in the output JSON")
     parser.add_argument("--workers-sweep", action="store_true",
                         help="also time sharded monitored runs at "
                         f"{list(SWEEP_WORKERS)} workers on "
@@ -657,6 +756,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.workers_sweep:
         doc["workers_sweep"] = run_workers_sweep(
+            preset=args.preset,
+            threads=args.threads,
+            mechanism=args.mechanism,
+            period=args.period,
+            scale=args.scale,
+        )
+    if args.autotune:
+        doc["autotune"] = run_autotune_bench(
             preset=args.preset,
             threads=args.threads,
             mechanism=args.mechanism,

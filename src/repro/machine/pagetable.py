@@ -421,53 +421,78 @@ class PageTable:
     def migrate_segment(
         self, seg: Segment, policy: PlacementPolicy, domains: list[int] | None = None
     ) -> None:
-        """Rebind a segment's pages under a new policy.
+        """Rebind a segment's pages under a new policy, atomically.
 
-        Releases currently bound frames, then re-binds eagerly (or resets
-        to unbound for ``FIRST_TOUCH``). This is the simulator-level hook
-        behind :mod:`repro.optim.transforms`.
+        Plans the complete new per-page binding first, checks that every
+        target domain can supply its frames (counting the frames the old
+        binding is about to free), and only then commits: release old
+        frames, reserve new ones, rewrite the domain map. A failed
+        migration raises :class:`~repro.errors.AllocationError` with the
+        page table, the segment, and the frame allocator exactly as they
+        were — no epoch bump, no half-bound pages, no leaked frames. This
+        is the simulator-level hook behind :mod:`repro.optim.transforms`
+        and the live-migration path of :mod:`repro.optim.autotune`.
         """
+        n_pages = seg.n_pages
+        n_domains = self.topology.n_domains
+        new_dom = self._plan_binding(policy, n_pages, domains)
+
+        freed = np.zeros(n_domains, dtype=np.int64)
         bound = seg.domains[seg.domains != UNBOUND]
         if bound.size:
-            counts = np.bincount(bound, minlength=self.topology.n_domains)
-            for d in np.nonzero(counts)[0]:
-                self.frames.release(int(d), int(counts[d]))
-        seg.domains[:] = UNBOUND
+            freed += np.bincount(bound, minlength=n_domains)
+        need = np.zeros(n_domains, dtype=np.int64)
+        new_bound = new_dom[new_dom != UNBOUND]
+        if new_bound.size:
+            need += np.bincount(new_bound, minlength=n_domains)
+        for d in np.nonzero(need)[0].tolist():
+            short = int(need[d]) - (self.frames.available(d) + int(freed[d]))
+            if short > 0:
+                raise AllocationError(
+                    f"cannot migrate segment {seg.label or seg.seg_id} to "
+                    f"{policy.value}: domain {d} is {short} frames short — "
+                    "migration aborted, nothing changed"
+                )
+
+        # Commit: the pre-check guarantees every reserve below succeeds.
+        for d in np.nonzero(freed)[0].tolist():
+            self.frames.release(d, int(freed[d]))
+        for d in np.nonzero(need)[0].tolist():
+            self.frames.reserve_exact(d, int(need[d]))
+        seg.domains[:] = new_dom
         seg.first_toucher_cpu[:] = -1
         seg.policy = policy
+        seg.n_unbound = int(np.count_nonzero(new_dom == UNBOUND))
+        self.epoch += 1
 
-        n_pages = seg.n_pages
+    def _plan_binding(
+        self,
+        policy: PlacementPolicy,
+        n_pages: int,
+        domains: list[int] | None,
+    ) -> np.ndarray:
+        """The per-page domain array a policy would install, pure."""
         if policy is PlacementPolicy.BIND:
             if not domains or len(domains) != 1:
                 raise AllocationError("BIND policy requires exactly one domain")
             self._validate_domains(domains)
-            self.frames.reserve_exact(domains[0], n_pages)
-            seg.domains[:] = domains[0]
-        elif policy is PlacementPolicy.INTERLEAVE:
+            return np.full(n_pages, domains[0], dtype=np.int64)
+        if policy is PlacementPolicy.INTERLEAVE:
             targets = list(domains) if domains else list(range(self.topology.n_domains))
             self._validate_domains(targets)
-            per_page = np.array(targets, dtype=np.int64)[np.arange(n_pages) % len(targets)]
-            for d in targets:
-                count = int(np.count_nonzero(per_page == d))
-                if count:
-                    self.frames.reserve_exact(d, count)
-            seg.domains[:] = per_page
-        elif policy is PlacementPolicy.BLOCKWISE:
+            return np.array(targets, dtype=np.int64)[np.arange(n_pages) % len(targets)]
+        if policy is PlacementPolicy.BLOCKWISE:
             if not domains:
                 raise AllocationError("BLOCKWISE policy requires a domain list")
             self._validate_domains(domains)
+            out = np.full(n_pages, UNBOUND, dtype=np.int64)
             bounds = np.linspace(0, n_pages, len(domains) + 1).astype(np.int64)
             for i, d in enumerate(domains):
-                count = int(bounds[i + 1] - bounds[i])
-                if count:
-                    self.frames.reserve_exact(d, count)
-                    seg.domains[bounds[i] : bounds[i + 1]] = d
-        elif policy is PlacementPolicy.FIRST_TOUCH:
-            pass
-        else:  # pragma: no cover
-            raise AllocationError(f"unknown policy {policy}")
-        seg.n_unbound = int(np.count_nonzero(seg.domains == UNBOUND))
-        self.epoch += 1
+                out[bounds[i] : bounds[i + 1]] = d
+            return out
+        if policy is PlacementPolicy.FIRST_TOUCH:
+            return np.full(n_pages, UNBOUND, dtype=np.int64)
+        raise AllocationError(f"unknown policy {policy}")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     # statistics

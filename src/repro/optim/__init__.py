@@ -5,15 +5,32 @@ Turns :mod:`repro.analysis.advisor` recommendations into concrete
 workloads understand: explicit placement policies (block-wise,
 interleaved), parallelized first-touch initialization, and data-layout
 regrouping — the three code changes the paper's case studies apply.
+
+The live counterpart is :mod:`repro.optim.autotune`: a closed-loop
+driver that profiles a window, converts the advice into a
+:class:`~repro.optim.policies.PolicySchedule` of
+:class:`~repro.optim.policies.MigrationStep` actions, applies them
+mid-run via ``PageTable.migrate_segment``, and quantifies the realized
+improvement with ``analysis.diff_profiles``.
 """
 
-from repro.optim.policies import NumaTuning, PlacementSpec, blockwise_all, interleave_all
-from repro.optim.transforms import apply_advice
+from repro.optim.policies import (
+    MigrationStep,
+    NumaTuning,
+    PlacementSpec,
+    PolicySchedule,
+    blockwise_all,
+    interleave_all,
+)
+from repro.optim.transforms import apply_advice, plan_migrations
 
 __all__ = [
+    "MigrationStep",
     "NumaTuning",
     "PlacementSpec",
+    "PolicySchedule",
     "blockwise_all",
     "interleave_all",
     "apply_advice",
+    "plan_migrations",
 ]

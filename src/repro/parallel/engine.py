@@ -78,6 +78,7 @@ class ParallelEngine:
         force_sharded: bool = False,
         memoize: bool = True,
         memo_bytes: int | None = None,
+        schedule=None,
     ) -> None:
         if n_workers < 1:
             raise ProgramError(f"n_workers must be >= 1, got {n_workers}")
@@ -96,6 +97,14 @@ class ParallelEngine:
         #: across shards, so cached classification survives sharding.
         self.memoize = bool(memoize)
         self.memo_bytes = memo_bytes
+        #: Live-migration schedule (``repro.optim.policies.PolicySchedule``),
+        #: forwarded verbatim to every shard engine so each page-table
+        #: replica applies identical mutations at identical boundaries.
+        self.schedule = schedule
+        #: ``AppliedAction`` log harvested after the run (shard 0's copy;
+        #: every shard applies the same schedule, so the logs agree on
+        #: everything except trap attribution, which the log omits).
+        self.applied_actions: list = []
         self.archive = None
         self.threads = None
         self._ran = False
@@ -132,9 +141,11 @@ class ParallelEngine:
             seed=self.seed,
             memoize=self.memoize,
             memo_bytes=self.memo_bytes,
+            schedule=self.schedule,
         )
         result = engine.run()
         self.threads = engine.threads
+        self.applied_actions = engine.applied_actions
         self.archive = getattr(monitor, "archive", None)
         return result
 
@@ -175,7 +186,7 @@ class ParallelEngine:
         spec = (
             self.machine_factory, self.program_factory, self.n_threads,
             self.binding, self.monitor_factory, self.params, self.seed,
-            n_workers, self.memoize, self.memo_bytes,
+            n_workers, self.memoize, self.memo_bytes, self.schedule,
         )
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
@@ -286,6 +297,8 @@ class ParallelEngine:
                 )
 
         final = self._round(executor, "finish_run")
+        if final:
+            self.applied_actions = final[0].get("applied_actions", [])
         overhead_by_tid = np.zeros(len(threads), dtype=np.float64)
         for payload in final:
             for tid, value in payload["overhead_by_tid"].items():

@@ -113,6 +113,12 @@ class ShardEngine(ExecutionEngine):
         exactly.
         """
         region = self._regions[region_idx]
+        if self.schedule is not None:
+            # Every shard applies the identical scheduled migrations on
+            # its page-table replica before any thread enters the region
+            # — the sharded counterpart of the serial engine's call at
+            # the top of the iteration loop. Epochs advance in lockstep.
+            self._apply_schedule(region_idx, region, iteration)
         active = (
             self.threads
             if region.kind is RegionKind.PARALLEL
@@ -325,6 +331,7 @@ class ShardEngine(ExecutionEngine):
             "archive_meta": None,
             "profiles": {},
             "telemetry": None,
+            "applied_actions": list(self.applied_actions),
         }
         archive = getattr(self.monitor, "archive", None)
         if archive is not None:
@@ -369,6 +376,7 @@ def _init_worker(claim_queue, barrier, spec) -> None:
     (
         machine_factory, program_factory, n_threads, binding,
         monitor_factory, params, seed, n_shards, memoize, memo_bytes,
+        schedule,
     ) = spec
     monitor = monitor_factory() if monitor_factory is not None else None
     engine = ShardEngine(
@@ -383,6 +391,7 @@ def _init_worker(claim_queue, barrier, spec) -> None:
         seed=seed,
         memoize=memoize,
         memo_bytes=memo_bytes,
+        schedule=schedule,
     )
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard

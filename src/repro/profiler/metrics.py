@@ -58,7 +58,7 @@ class MetricNames:
             return _NUMA_NODE_NAMES[domain]
 
 
-#: The paper's rule of thumb (Section 4.2): lpi_NUMA above 0.1 cycles per
+#: The paper's rule of thumb (Section 4.2): lpi_NUMA at or above 0.1 cycles per
 #: instruction means NUMA losses warrant optimization.
 LPI_THRESHOLD = 0.1
 
@@ -127,4 +127,4 @@ def domain_request_counts(metrics: Mapping[str, float], n_domains: int) -> list[
 
 def warrants_optimization(lpi: float | None, threshold: float = LPI_THRESHOLD) -> bool:
     """Apply the paper's 0.1 cycles/instruction rule of thumb."""
-    return lpi is not None and lpi > threshold
+    return lpi is not None and lpi >= threshold

@@ -123,6 +123,11 @@ class ThreadProfile:
     vars: dict[str, VarRecord] = field(default_factory=dict)
     first_touches: list[FirstTouchRecord] = field(default_factory=list)
     counters: defaultdict = field(default_factory=lambda: defaultdict(float))
+    #: Migration-Profiler-style page heat, populated only when the
+    #: profiler runs with ``heatmap=True``:
+    #: page number -> ``[sample_count, lat_sum, lat_min, lat_max]``
+    #: (latency fields zero when the mechanism measures none).
+    page_heat: dict[int, list[float]] = field(default_factory=dict)
 
     def var_record(self, var: Variable, n_bins: int | None = None) -> VarRecord:
         """Get or create the record for ``var``."""

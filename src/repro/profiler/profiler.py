@@ -98,6 +98,7 @@ class NumaProfiler(Monitor):
         deferred: bool = True,
         seed: int = 0x1B5,
         memoize: bool = True,
+        heatmap: bool = False,
     ) -> None:
         self.mechanism = mechanism
         self.n_bins = n_bins
@@ -107,9 +108,18 @@ class NumaProfiler(Monitor):
         self.deferred = deferred
         self.memoize = bool(memoize)
         self.seed = int(seed)
+        #: Opt-in Migration-Profiler-style page heatmap: accumulate
+        #: per (thread, page) sample counts and latency stats into
+        #: ``ThreadProfile.page_heat`` (exported by
+        #: ``analysis.io.export_heatmap_csvs``). Off by default — the
+        #: per-page dictionaries cost memory proportional to the touched
+        #: footprint.
+        self.heatmap = bool(heatmap)
         self.registry = VariableRegistry()
         self.archive: ProfileArchive | None = None
         self._engine: ExecutionEngine | None = None
+        self._heat: dict[int, dict[int, list[float]]] = {}
+        self._page_size = 0
 
     # ------------------------------------------------------------------ #
     # Monitor hooks
@@ -131,6 +141,8 @@ class NumaProfiler(Monitor):
             self.archive.profiles[t.tid] = ThreadProfile(
                 tid=t.tid, cpu=t.cpu, domain=t.domain
             )
+        self._heat = {}
+        self._page_size = machine.page_size
         if self.deferred:
             self._init_accumulators(machine, engine)
 
@@ -346,6 +358,8 @@ class NumaProfiler(Monitor):
                     self._record_step_samples(sampled, crows, lat_ok)
             else:
                 self._record_step_samples(sampled, crows, lat_ok)
+            if self.heatmap:
+                self._accumulate_heat(sampled, lat_ok)
         costs = self.mechanism.cost_cycles_step(step, views)
         if traced:
             tr.end()
@@ -544,6 +558,56 @@ class NumaProfiler(Monitor):
         np.minimum.at(mm[:, 0], rng_rows, vals)
         np.maximum.at(mm[:, 1], rng_rows, vals)
 
+    def _accumulate_heat(self, sampled: list[tuple], lat_ok: bool) -> None:
+        """Fold one step's samples into the per-(thread, page) heatmap.
+
+        Each row is ``page -> [count, lat_sum, lat_min, lat_max]``;
+        latency stats stay zero when the mechanism does not capture
+        latency. Kept per-tid so sharded runs ship the heat with each
+        owned :class:`ThreadProfile` and need no extra merge code.
+        """
+        page_size = self._page_size
+        for v, s_addrs, _remote, s_lat, _m in sampled:
+            pages = s_addrs // page_size
+            uniq, inv = np.unique(pages, return_inverse=True)
+            counts = np.bincount(inv, minlength=uniq.size)
+            if lat_ok:
+                lat_sum = np.bincount(
+                    inv, weights=s_lat, minlength=uniq.size
+                )
+                lat_min = np.full(uniq.size, np.inf)
+                lat_max = np.zeros(uniq.size)
+                np.minimum.at(lat_min, inv, s_lat)
+                np.maximum.at(lat_max, inv, s_lat)
+            heat = self._heat.setdefault(v.tid, {})
+            for i, page in enumerate(uniq.tolist()):
+                row = heat.get(page)
+                if row is None:
+                    row = heat[page] = [0.0, 0.0, float("inf"), 0.0]
+                row[0] += float(counts[i])
+                if lat_ok:
+                    row[1] += float(lat_sum[i])
+                    if lat_min[i] < row[2]:
+                        row[2] = float(lat_min[i])
+                    if lat_max[i] > row[3]:
+                        row[3] = float(lat_max[i])
+
+    def _flush_heat(self) -> None:
+        """Move accumulated heat into the per-thread profiles."""
+        if not self.heatmap or self.archive is None:
+            return
+        for tid, heat in self._heat.items():
+            out = {}
+            for page, (count, lat_sum, lat_min, lat_max) in sorted(heat.items()):
+                out[page] = [
+                    count,
+                    lat_sum,
+                    0.0 if lat_min == float("inf") else lat_min,
+                    lat_max,
+                ]
+            self.archive.profiles[tid].page_heat = out
+        self._heat = {}
+
     def _observe(self, view: ChunkView) -> float:
         """Sample one chunk and attribute code-, data-, address-centric."""
         chunk = view.chunk
@@ -594,6 +658,10 @@ class NumaProfiler(Monitor):
         if lat_captured:
             metrics[MetricNames.LAT_TOTAL] = float(s_lat.sum())
             metrics[MetricNames.LAT_REMOTE] = float(s_lat[remote].sum())
+        if self.heatmap:
+            self._accumulate_heat(
+                [(view, s_addrs, remote, s_lat, None)], lat_captured
+            )
 
         self._attribute_code(profile, view.path, metrics)
         self._attribute_data(
@@ -611,6 +679,7 @@ class NumaProfiler(Monitor):
         """
         if self.archive is not None:
             self.archive.run_result = result
+        self._flush_heat()
         if self.deferred and self.archive is not None and not self._flushed:
             tr = obs.TRACER
             if tr.enabled:

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
-from repro.errors import ProgramError
+from repro.errors import AllocationError, ProgramError
 from repro.machine.cache import LEVEL_DRAM, LEVEL_L1, LEVEL_L2, ScratchPool
 from repro.machine.machine import Machine
 from repro.machine.pagetable import PlacementPolicy
@@ -397,6 +397,25 @@ class RunResult:
         return self.region_wall_cycles.get(name, 0.0) / (self.ghz * 1e9)
 
 
+@dataclass(frozen=True)
+class AppliedAction:
+    """Record of one scheduled migration the engine applied (or refused).
+
+    ``ok`` is False when the migration aborted (e.g. an exhausted
+    domain): ``migrate_segment`` is atomic, so the run simply continues
+    on the old placement, and ``error`` carries the reason.
+    """
+
+    region_idx: int
+    iteration: int
+    var_name: str
+    policy: str
+    domains: tuple[int, ...] | None
+    ok: bool
+    epoch: int
+    error: str = ""
+
+
 class ExecutionEngine:
     """Single-use runner: one engine executes one program on one machine."""
 
@@ -430,6 +449,7 @@ class ExecutionEngine:
         seed: int = 0,
         memoize: bool = True,
         memo_bytes: int | None = None,
+        schedule=None,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -441,6 +461,15 @@ class ExecutionEngine:
         #: Iteration memoization (see :mod:`repro.runtime.memo`); results
         #: are bit-identical with it on or off (``--no-memo``).
         self.memo = IterationMemo(memo_bytes) if memoize else None
+        #: Live-migration schedule (duck-typed
+        #: :class:`repro.optim.policies.PolicySchedule` — the engine must
+        #: not import :mod:`repro.optim` to avoid an import cycle).
+        #: Consulted at the top of every region iteration; mutations are
+        #: applied before any thread enters the region, so a sharded run
+        #: replays them identically in every worker.
+        self.schedule = schedule
+        #: Log of schedule applications (``AppliedAction``), in order.
+        self.applied_actions: list[AppliedAction] = []
         self._scratch = ScratchPool()
         self._ran = False
 
@@ -457,6 +486,71 @@ class ExecutionEngine:
             return self._run(tr)
         finally:
             tr.end()
+
+    def _apply_schedule(
+        self, region_idx: int, region: Region, iteration: int
+    ) -> None:
+        """Apply scheduled live migrations at this iteration boundary.
+
+        Runs before any thread enters the region (and before the memo
+        reads the page-table epoch), so every worker in a sharded run —
+        each holding a replica of the page table — performs the same
+        mutations in the same order and arrives at the same epoch. A
+        failed migration is atomic (see ``PageTable.migrate_segment``):
+        it is logged with ``ok=False`` and the run continues unchanged.
+        """
+        steps = self.schedule.steps_for(region_idx, iteration)
+        if not steps:
+            return
+        tr = obs.TRACER
+        page_table = self.machine.page_table
+        for step in steps:
+            domains = step.domain_list()
+            var = self.heap.variables.get(step.var_name)
+            if var is None:
+                self.applied_actions.append(
+                    AppliedAction(
+                        region_idx, iteration, step.var_name,
+                        step.policy.value,
+                        tuple(domains) if domains else None,
+                        False, page_table.epoch,
+                        error=f"unknown variable {step.var_name!r}",
+                    )
+                )
+                tr.count("optim.migrations_failed")
+                continue
+            seg = page_table.segment_of_addr(var.base)
+            if tr.enabled:
+                tr.begin(
+                    "engine.migrate", "optim",
+                    var=step.var_name, policy=step.policy.value,
+                    region=region.name, iteration=iteration,
+                )
+            try:
+                page_table.migrate_segment(seg, step.policy, domains)
+            except AllocationError as exc:
+                self.applied_actions.append(
+                    AppliedAction(
+                        region_idx, iteration, step.var_name,
+                        step.policy.value,
+                        tuple(domains) if domains else None,
+                        False, page_table.epoch, error=str(exc),
+                    )
+                )
+                tr.count("optim.migrations_failed")
+            else:
+                self.applied_actions.append(
+                    AppliedAction(
+                        region_idx, iteration, step.var_name,
+                        step.policy.value,
+                        tuple(domains) if domains else None,
+                        True, page_table.epoch,
+                    )
+                )
+                tr.count("optim.migrations_applied")
+            finally:
+                if tr.enabled:
+                    tr.end()
 
     def _run(self, tr) -> RunResult:
         if self.monitor is not None:
@@ -500,6 +594,8 @@ class ExecutionEngine:
                 memo is not None and region.repeat > 1 and region.memoize
             )
             for iteration in range(region.repeat):
+                if self.schedule is not None:
+                    self._apply_schedule(region_idx, region, iteration)
                 traced = tr.enabled
                 if traced:
                     iter_t0 = tr.now_ns()

@@ -86,6 +86,47 @@ class TestBelowThreshold:
         assert "NUMA" in advice.rationale
 
 
+class TestThresholdBoundary:
+    """The paper says "below the 0.1 threshold" — strictly below.
+
+    lpi == threshold exactly must therefore warrant optimization; only
+    lpi < threshold earns the not-worth-it verdict.
+    """
+
+    class _FixedLpiAnalysis:
+        """Duck-typed stand-in for NumaAnalysis with a pinned lpi."""
+
+        def __init__(self, lpi):
+            from types import SimpleNamespace
+
+            self._lpi = lpi
+            self.merged = SimpleNamespace(program="boundary", n_domains=4)
+            self.caps = SimpleNamespace(measures_latency=True)
+
+        def program_lpi(self):
+            return self._lpi
+
+        def hot_variables(self, top):
+            return []
+
+    def test_exactly_at_threshold_warrants_optimization(self):
+        from repro.profiler.metrics import LPI_THRESHOLD, warrants_optimization
+
+        advice = advise(self._FixedLpiAnalysis(LPI_THRESHOLD))
+        assert advice.worth_optimizing
+        assert ">=" in advice.rationale
+        assert warrants_optimization(LPI_THRESHOLD)
+
+    def test_just_below_threshold_does_not(self):
+        from repro.profiler.metrics import LPI_THRESHOLD, warrants_optimization
+
+        eps = 1e-12
+        advice = advise(self._FixedLpiAnalysis(LPI_THRESHOLD - eps))
+        assert not advice.worth_optimizing
+        assert advice.recommendations == []
+        assert not warrants_optimization(LPI_THRESHOLD - eps)
+
+
 class TestScoping:
     def test_min_cost_share_filters(self):
         advice, an = analyze(ToyProgram())

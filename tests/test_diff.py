@@ -61,3 +61,43 @@ class TestDiff:
         d = diff_profiles(before, after)
         v = d.variable("data")
         assert v.samples_after == 0.0
+        # Missing is None, not "perfectly local" 0.0.
+        assert v.remote_fraction_after is None
+        assert v.mismatch_after is None
+        assert v.remote_fraction_before is not None
+        assert v.remote_fraction_delta is None
+        # Renders as "-" in the data row for the missing side.
+        row = next(
+            line for line in d.render().splitlines()
+            if line.strip().startswith("data")
+        )
+        assert row.rstrip().endswith("-")
+
+    def test_render_columns_aligned(self, diff):
+        # Header and every data row must have identical width so the
+        # columns line up — including inf mismatch ratios.
+        lines = diff.render().splitlines()
+        header_idx = next(
+            i for i, line in enumerate(lines) if "variable" in line
+        )
+        widths = {len(line) for line in lines[header_idx:]}
+        assert len(widths) == 1, lines[header_idx:]
+
+    def test_render_aligned_with_inf_and_missing(self):
+        from repro.analysis.diff import ProfileDiff, VariableDelta
+
+        d = ProfileDiff(
+            program="t", lpi_before=0.2, lpi_after=0.05,
+            remote_before=0.5, remote_after=0.1,
+            variables=(
+                VariableDelta("a", 0.5, 0.1, float("inf"), 0.2, 10, 10),
+                VariableDelta("b", 0.4, None, 1.5, None, 8, 0.0),
+                VariableDelta("c", None, 0.3, None, 0.9, 0.0, 6),
+            ),
+        )
+        lines = d.render().splitlines()
+        header_idx = next(
+            i for i, line in enumerate(lines) if "variable" in line
+        )
+        widths = {len(line) for line in lines[header_idx:]}
+        assert len(widths) == 1, lines[header_idx:]

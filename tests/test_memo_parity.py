@@ -212,6 +212,66 @@ def test_migration_epoch_invalidation():
 
 
 # ---------------------------------------------------------------------- #
+# engine-level schedule (the autotune path): serial and sharded parity
+# ---------------------------------------------------------------------- #
+
+
+def _sweep_schedule():
+    """A mid-run rebind on the autotune path (engine-level schedule)."""
+    from repro.optim.policies import MigrationStep, PolicySchedule
+
+    schedule = PolicySchedule()
+    # Region 1 is the repeated compute region of the sweep; iteration 1
+    # leaves a profiled iteration before and iterations after the move.
+    schedule.add(
+        1, 1, MigrationStep("data", PlacementPolicy.BLOCKWISE, (0, 1, 2, 3))
+    )
+    return schedule
+
+
+def _run_scheduled_serial(*, memoize: bool):
+    build = _builders(SCALE)["sweep"]
+    profiler = _monitor_factory(memoize=memoize)
+    engine = ExecutionEngine(
+        _machine_factory(), build(), THREADS,
+        monitor=profiler, binding=BindingPolicy.COMPACT,
+        memoize=memoize, schedule=_sweep_schedule(),
+    )
+    return engine.run(), profiler.archive, engine
+
+
+def test_scheduled_migration_memo_parity_serial():
+    ref_result, ref_archive, ref_engine = _run_scheduled_serial(memoize=False)
+    memo_result, memo_archive, engine = _run_scheduled_serial(memoize=True)
+    assert [a.ok for a in ref_engine.applied_actions] == [True]
+    assert engine.applied_actions == ref_engine.applied_actions
+    _assert_results_equal(ref_result, memo_result)
+    _assert_archives_equal(ref_archive, memo_archive)
+
+
+@pytest.mark.skipif(
+    not sharding_supported(), reason="platform cannot fork worker pools"
+)
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_scheduled_migration_sharded_parity(n_workers):
+    ref_result, ref_archive, ref_engine = _run_scheduled_serial(memoize=False)
+    build = _builders(SCALE)["sweep"]
+    par = ParallelEngine(
+        _machine_factory, build, THREADS,
+        n_workers=n_workers,
+        binding=BindingPolicy.COMPACT,
+        monitor_factory=_monitor_factory,
+        force_sharded=n_workers > 1,
+        memoize=True,
+        schedule=_sweep_schedule(),
+    )
+    result = par.run()
+    assert par.applied_actions == ref_engine.applied_actions
+    _assert_results_equal(ref_result, result)
+    _assert_archives_equal(ref_archive, par.archive)
+
+
+# ---------------------------------------------------------------------- #
 # LRU eviction under a starved budget
 # ---------------------------------------------------------------------- #
 

@@ -246,6 +246,80 @@ class TestMigration:
         pt.migrate_segment(seg, PlacementPolicy.FIRST_TOUCH)
         assert np.all(seg.domains == UNBOUND)
 
+    def test_migrate_counts_freed_frames_toward_capacity(self):
+        # Migrating BIND[0] -> BIND[0] on a full domain must succeed: the
+        # frames about to be freed cover the frames about to be reserved.
+        pt = make_table(frames=8)
+        seg = pt.map_segment(0, 8 * PAGE, PlacementPolicy.BIND, domains=[0])
+        assert pt.frames.available(0) == 0
+        pt.migrate_segment(seg, PlacementPolicy.BIND, domains=[0])
+        np.testing.assert_array_equal(seg.domains, [0] * 8)
+
+
+class TestMigrateAtomic:
+    """A failed migration must leave every piece of state untouched."""
+
+    def _snapshot(self, pt, seg):
+        return (
+            seg.domains.copy(),
+            seg.first_toucher_cpu.copy(),
+            seg.policy,
+            seg.n_unbound,
+            pt.frames.used.copy(),
+            pt.epoch,
+        )
+
+    def _assert_unchanged(self, pt, seg, snap):
+        domains, toucher, policy, n_unbound, used, epoch = snap
+        np.testing.assert_array_equal(seg.domains, domains)
+        np.testing.assert_array_equal(seg.first_toucher_cpu, toucher)
+        assert seg.policy is policy
+        assert seg.n_unbound == n_unbound
+        np.testing.assert_array_equal(pt.frames.used, used)
+        assert pt.epoch == epoch
+
+    def test_exhausted_domain_aborts_bind_cleanly(self):
+        pt = make_table(frames=8)
+        seg = pt.map_segment(0, 4 * PAGE, PlacementPolicy.BIND, domains=[0])
+        # Fill domain 1 completely with an unrelated segment.
+        pt.map_segment(0x100000, 8 * PAGE, PlacementPolicy.BIND, domains=[1])
+        snap = self._snapshot(pt, seg)
+        with pytest.raises(AllocationError):
+            pt.migrate_segment(seg, PlacementPolicy.BIND, domains=[1])
+        self._assert_unchanged(pt, seg, snap)
+
+    def test_exhausted_domain_aborts_interleave_midloop(self):
+        # INTERLEAVE over domains where a later one is exhausted: the old
+        # code reserved domain-by-domain and leaked earlier reservations.
+        pt = make_table(frames=8)
+        pt.map_segment(0x100000, 8 * PAGE, PlacementPolicy.BIND, domains=[3])
+        seg = pt.map_segment(0, 8 * PAGE, PlacementPolicy.BIND, domains=[0])
+        snap = self._snapshot(pt, seg)
+        with pytest.raises(AllocationError):
+            pt.migrate_segment(
+                seg, PlacementPolicy.INTERLEAVE, domains=[1, 2, 3]
+            )
+        self._assert_unchanged(pt, seg, snap)
+
+    def test_exhausted_domain_aborts_blockwise_midloop(self):
+        pt = make_table(frames=8)
+        pt.map_segment(0x100000, 8 * PAGE, PlacementPolicy.BIND, domains=[2])
+        seg = pt.map_segment(0, 8 * PAGE, PlacementPolicy.BIND, domains=[0])
+        snap = self._snapshot(pt, seg)
+        with pytest.raises(AllocationError):
+            pt.migrate_segment(seg, PlacementPolicy.BLOCKWISE, domains=[1, 2])
+        self._assert_unchanged(pt, seg, snap)
+
+    def test_bad_domain_argument_aborts_cleanly(self):
+        pt = make_table()
+        seg = pt.map_segment(0, 4 * PAGE, PlacementPolicy.BIND, domains=[0])
+        snap = self._snapshot(pt, seg)
+        with pytest.raises(AllocationError):
+            pt.migrate_segment(seg, PlacementPolicy.BIND, domains=[99])
+        with pytest.raises(AllocationError):
+            pt.migrate_segment(seg, PlacementPolicy.BLOCKWISE, domains=None)
+        self._assert_unchanged(pt, seg, snap)
+
 
 class TestStatistics:
     def test_domain_page_counts(self):
