@@ -20,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 from repro import (
@@ -37,6 +38,7 @@ from repro import (
     presets,
 )
 from repro.errors import NumaProfError, UsageError
+from repro.runtime.memo import DEFAULT_MEMO_BYTES
 from repro.runtime.thread import BindingPolicy
 from repro.sampling import create_mechanism
 from repro.workloads import (
@@ -47,6 +49,24 @@ from repro.workloads import (
     PartitionedSweep,
     UMT2013,
 )
+
+
+#: Largest accepted ``--scale``: 100x the paper sizes is the documented
+#: ceiling for full-size studies; one more order of magnitude of slack
+#: still allocates, anything beyond is a typo (1e18 node counts).
+MAX_SCALE = 1000.0
+
+
+def _validate_scale(scale: float) -> None:
+    """Reject non-positive, NaN, and absurd ``--scale`` values up front
+    with a one-line usage error instead of a deep allocator traceback."""
+    if not math.isfinite(scale) or scale <= 0:
+        raise UsageError(f"--scale must be a positive number, got {scale!r}")
+    if scale > MAX_SCALE:
+        raise UsageError(
+            f"--scale {scale:g} is out of range (max {MAX_SCALE:g}: "
+            f"workload sizes are multiples of the paper's Table 2 sizes)"
+        )
 
 
 def _scaled(value: int, scale: float, floor: int) -> int:
@@ -132,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0 = "
                         "paper sizes; small floors keep runs meaningful)")
+    phase = parser.add_mutually_exclusive_group()
+    phase.add_argument("--extrapolate", action="store_true",
+                       help="phase-adaptive extrapolation: detect steady "
+                       "region iterations and skip them, reconstructing "
+                       "their metrics from recorded deltas (exact for "
+                       "deterministic sampling; jittered mechanisms get "
+                       "a declared-ε report)")
+    phase.add_argument("--exact", action="store_true",
+                       help="simulate every iteration (the default; "
+                       "spelled out to pin it against --extrapolate)")
+    parser.add_argument("--extrap-warmup", type=int, default=2,
+                        metavar="K",
+                        help="steady iterations observed before "
+                        "extrapolation arms (default 2)")
     parser.add_argument("--top", type=int, default=6,
                         help="variables to show in the data-centric view")
     parser.add_argument("--var", default=None,
@@ -176,6 +210,24 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
 
+def _print_phase_summary(report: dict | None) -> None:
+    """One-line phase/ε accounting for the monitored run."""
+    if not report:
+        return
+    skipped = report["extrapolated_exact"] + report["extrapolated_eps"]
+    line = (
+        f"phase extrapolation: {skipped}/{report['iterations']} iterations "
+        f"skipped ({report['coverage_pct']:.1f}% coverage; "
+        f"{report['extrapolated_exact']} exact, "
+        f"{report['extrapolated_eps']} within-ε)"
+    )
+    if report["extrapolated_eps"]:
+        line += f"; declared eps = {report['epsilon']:.3g}"
+    if report["breaks"]:
+        line += f"; {report['breaks']} phase break(s)"
+    print(line + "\n")
+
+
 def _run(args: argparse.Namespace) -> int:
     log = obs.get_logger("cli")
     default_preset, default_threads, default_mech = WORKLOADS[args.workload]
@@ -191,8 +243,11 @@ def _run(args: argparse.Namespace) -> int:
             f"unknown machine preset {preset_name!r} "
             f"(available: {', '.join(sorted(presets.PRESETS))})"
         )
-    if args.scale <= 0:
-        raise UsageError(f"--scale must be positive, got {args.scale}")
+    _validate_scale(args.scale)
+    if args.extrap_warmup < 1:
+        raise UsageError(
+            f"--extrap-warmup must be at least 1, got {args.extrap_warmup}"
+        )
 
     kwargs = {"max_rate": 2e6} if mech_name == "MRK" else {}
     mechanism = create_mechanism(mech_name, period, **kwargs)
@@ -210,10 +265,19 @@ def _run(args: argparse.Namespace) -> int:
     log.debug("binding=%s mechanism kwargs=%s", binding.name, kwargs)
 
     memoize = not args.no_memo
+    extrapolate = bool(args.extrapolate)
+    # The memo stores per-step classification arrays whose size tracks the
+    # workload footprint; keep the budget proportional to --scale so large
+    # runs don't thrash the LRU (which would also starve phase detection).
+    memo_bytes = int(DEFAULT_MEMO_BYTES * max(1.0, args.scale))
+    extrap_kwargs = {
+        "extrapolate": extrapolate, "extrap_warmup": args.extrap_warmup,
+        "memo_bytes": memo_bytes,
+    }
     with tr.span("cli.baseline_run", "harness"):
         baseline = ExecutionEngine(
             machine_factory(), build(), threads, binding=binding,
-            memoize=memoize,
+            memoize=memoize, **extrap_kwargs,
         ).run()
     if args.workers > 1:
         from repro.parallel import ParallelEngine
@@ -225,7 +289,7 @@ def _run(args: argparse.Namespace) -> int:
                 create_mechanism(mech_name, period, **kwargs),
                 memoize=memoize,
             ),
-            memoize=memoize,
+            memoize=memoize, **extrap_kwargs,
         )
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
@@ -234,11 +298,13 @@ def _run(args: argparse.Namespace) -> int:
         profiler = NumaProfiler(mechanism, memoize=memoize)
         engine = ExecutionEngine(
             machine_factory(), build(), threads, monitor=profiler,
-            binding=binding, memoize=memoize,
+            binding=binding, memoize=memoize, **extrap_kwargs,
         )
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
         archive = profiler.archive
+    if extrapolate:
+        _print_phase_summary(getattr(engine, "phase_report", None))
     print(f"baseline {baseline.wall_seconds * 1e3:.2f} ms simulated; "
           f"monitoring overhead "
           f"{monitored.wall_seconds / baseline.wall_seconds - 1:+.1%}; "

@@ -8,7 +8,10 @@ with the full profiler attached — each both with iteration memoization on
 * wall seconds per run (memo-on and memo-off),
 * chunks/s and accesses/s throughput (the engine hot-path rates, memo on),
 * the engine memo's hit/miss/eviction counters per run,
-* the monitored-overhead percentage (host time, not simulated time).
+* the monitored-overhead percentage (host time, not simulated time),
+* one monitored run with phase-adaptive extrapolation (``--extrapolate``):
+  its wall seconds, ``extrap_speedup`` over the live monitored run,
+  ``phase_coverage_pct`` (iterations skipped), and the declared ``epsilon``.
 
 ``overhead_pct`` is the monitored memo-on wall against the *uncached*
 engine-only wall: the cost of profiling the workload relative to what the
@@ -109,11 +112,12 @@ def _rates(wall_s: float, result) -> dict:
 
 
 def _timed_run(
-    machine_factory, program_factory, threads, monitor=None, memoize=True
+    machine_factory, program_factory, threads, monitor=None, memoize=True,
+    extrapolate=False,
 ):
     engine = ExecutionEngine(
         machine_factory(), program_factory(), threads, monitor=monitor,
-        memoize=memoize,
+        memoize=memoize, extrapolate=extrapolate,
     )
     t0 = time.perf_counter()
     result = engine.run()
@@ -188,9 +192,12 @@ def run_perf(
     tot = {
         "engine_only": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
         "monitored": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
+        "extrap": {"wall_s": 0.0, "chunks": 0, "accesses": 0},
         "engine_only_no_memo": {"wall_s": 0.0},
         "monitored_no_memo": {"wall_s": 0.0},
     }
+    phase_iters = phase_skipped = 0
+    phase_eps = 0.0
     for name, factory in workloads.items():
         base_nm_s, _, _ = _timed_run(
             machine_factory, factory, threads, memoize=False
@@ -209,9 +216,21 @@ def run_perf(
             machine_factory, factory, threads,
             monitor=NumaProfiler(create_mechanism(mechanism, period)),
         )
+        ext_s, ext_res, ext_eng = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+            extrapolate=True,
+        )
+        report = ext_eng.phase_report or {}
         entry = {
             "engine_only": _rates(base_s, base_res),
             "monitored": _rates(mon_s, mon_res),
+            "extrap": dict(
+                _rates(ext_s, ext_res),
+                extrap_speedup=mon_s / ext_s if ext_s > 0 else 0.0,
+                phase_coverage_pct=report.get("coverage_pct", 0.0),
+                epsilon=report.get("epsilon", 0.0),
+            ),
             "engine_only_no_memo": {"wall_s": base_nm_s},
             "monitored_no_memo": {"wall_s": mon_nm_s},
             "memo": {
@@ -241,15 +260,22 @@ def run_perf(
                 machine_factory, factory, threads, mechanism, period
             )
         doc["workloads"][name] = entry
+        phase_iters += report.get("iterations", 0)
+        phase_skipped += (
+            report.get("extrapolated_exact", 0)
+            + report.get("extrapolated_eps", 0)
+        )
+        phase_eps = max(phase_eps, report.get("epsilon", 0.0))
         for mode, (wall, res) in (
             ("engine_only", (base_s, base_res)),
             ("monitored", (mon_s, mon_res)),
+            ("extrap", (ext_s, ext_res)),
         ):
             tot[mode]["wall_s"] += wall
             tot[mode]["chunks"] += res.total_chunks
             tot[mode]["accesses"] += res.total_accesses
 
-    for mode in ("engine_only", "monitored"):
+    for mode in ("engine_only", "monitored", "extrap"):
         wall = tot[mode]["wall_s"]
         tot[mode]["chunks_per_s"] = tot[mode]["chunks"] / wall if wall else 0.0
         tot[mode]["accesses_per_s"] = (
@@ -267,6 +293,15 @@ def run_perf(
         if tot["engine_only"]["wall_s"]
         else 0.0
     )
+    tot["extrap"]["extrap_speedup"] = (
+        tot["monitored"]["wall_s"] / tot["extrap"]["wall_s"]
+        if tot["extrap"]["wall_s"]
+        else 0.0
+    )
+    tot["extrap"]["phase_coverage_pct"] = (
+        100.0 * phase_skipped / phase_iters if phase_iters else 0.0
+    )
+    tot["extrap"]["epsilon"] = phase_eps
     if phase_breakdown:
         agg: dict[str, float] = {}
         pb_wall = 0.0
@@ -364,8 +399,9 @@ def run_workers_sweep(
     """Monitored-run throughput vs. worker count (sharded execution).
 
     Times the serial monitored run and one sharded run per worker count
-    for each workload, recording wall seconds, chunks/s, and the speedup
-    over serial. ``host_cpus`` is recorded alongside because the sweep
+    for each workload — each once live and once with phase-adaptive
+    extrapolation (``*_extrap`` entries, same schema) — recording wall
+    seconds, chunks/s, and the speedup over the matching serial run. ``host_cpus`` is recorded alongside because the sweep
     measures *host* wall time: sharding cannot beat serial on a
     single-core host (the workers time-slice one CPU and pay IPC on
     top), so the numbers are only meaningful relative to that field.
@@ -400,22 +436,34 @@ def run_workers_sweep(
             machine_factory, factory, threads,
             monitor=NumaProfiler(create_mechanism(mechanism, period)),
         )
-        entry = {"serial": _rates(serial_s, serial_res)}
+        serial_x_s, serial_x_res, _ = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+            extrapolate=True,
+        )
+        entry = {
+            "serial": _rates(serial_s, serial_res),
+            "serial_extrap": _rates(serial_x_s, serial_x_res),
+        }
         for n in workers:
-            par = ParallelEngine(
-                machine_factory, factory, threads, n_workers=n,
-                monitor_factory=lambda: NumaProfiler(
-                    create_mechanism(mechanism, period)
-                ),
-                force_sharded=True,
-            )
-            t0 = time.perf_counter()
-            result = par.run()
-            wall_s = time.perf_counter() - t0
-            entry[f"workers_{n}"] = dict(
-                _rates(wall_s, result),
-                speedup_vs_serial=serial_s / wall_s if wall_s else 0.0,
-            )
+            for suffix, extrapolate, ref_s in (
+                ("", False, serial_s), ("_extrap", True, serial_x_s)
+            ):
+                par = ParallelEngine(
+                    machine_factory, factory, threads, n_workers=n,
+                    monitor_factory=lambda: NumaProfiler(
+                        create_mechanism(mechanism, period)
+                    ),
+                    force_sharded=True,
+                    extrapolate=extrapolate,
+                )
+                t0 = time.perf_counter()
+                result = par.run()
+                wall_s = time.perf_counter() - t0
+                entry[f"workers_{n}{suffix}"] = dict(
+                    _rates(wall_s, result),
+                    speedup_vs_serial=ref_s / wall_s if wall_s else 0.0,
+                )
         sweep["workloads"][name] = entry
     return sweep
 
@@ -506,9 +554,12 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
     def ratio(new: float, old) -> float | None:
         return new / old if old else None
 
-    for mode in ("engine_only", "monitored"):
+    for mode in ("engine_only", "monitored", "extrap"):
+        new = current["totals"].get(mode, {}).get("chunks_per_s")
+        if new is None:
+            continue
         old = baseline.get("totals", {}).get(mode, {}).get("chunks_per_s")
-        r = ratio(current["totals"][mode]["chunks_per_s"], old)
+        r = ratio(new, old)
         speedups["totals"][mode] = r
         if r is None:
             missing.append(f"totals/{mode}/chunks_per_s")
@@ -522,9 +573,12 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
             missing.append(f"workloads/{name}")
             continue
         speedups["workloads"][name] = {}
-        for mode in ("engine_only", "monitored"):
+        for mode in ("engine_only", "monitored", "extrap"):
+            new = entry.get(mode, {}).get("chunks_per_s")
+            if new is None:
+                continue
             old = old_entry.get(mode, {}).get("chunks_per_s")
-            r = ratio(entry[mode]["chunks_per_s"], old)
+            r = ratio(new, old)
             speedups["workloads"][name][mode] = r
             if r is None:
                 missing.append(f"workloads/{name}/{mode}/chunks_per_s")
@@ -552,6 +606,15 @@ def render(doc: dict) -> str:
         misses = sum(m["misses"] for m in memo.values())
         return f"{hits}/{misses}"
 
+    def extrap_cells(extrap: dict | None) -> list[str]:
+        if not extrap:
+            return ["-", "-"]
+        return [
+            f"{extrap['wall_s']:.2f}s ({extrap['extrap_speedup']:.2f}x)",
+            f"{extrap['phase_coverage_pct']:.0f}%"
+            + (f" e={extrap['epsilon']:.1g}" if extrap["epsilon"] else ""),
+        ]
+
     for name, entry in doc["workloads"].items():
         eng, mon = entry["engine_only"], entry["monitored"]
         no_memo = entry.get("engine_only_no_memo", {})
@@ -562,6 +625,7 @@ def render(doc: dict) -> str:
             f"{no_memo['wall_s']:.2f}s" if no_memo else "-",
             f"{mon['wall_s']:.2f}s",
             f"{mon['overhead_pct']:+.0f}%",
+            *extrap_cells(entry.get("extrap")),
             memo_cell(entry.get("memo")),
         ])
     tot = doc["totals"]
@@ -574,11 +638,12 @@ def render(doc: dict) -> str:
         if "engine_only_no_memo" in tot else "-",
         f"{tot['monitored']['wall_s']:.2f}s",
         f"{tot['monitored_overhead_pct']:+.0f}%",
+        *extrap_cells(tot.get("extrap")),
         f"{memo_tot['hits']}/{memo_tot['misses']}" if memo_tot else "-",
     ])
     table = fmt_table(
         ["workload", "engine s", "chunks/s", "no-memo s", "monitored s",
-         "overhead", "memo h/m"],
+         "overhead", "extrap s", "phase cov", "memo h/m"],
         rows,
         title=f"bench-perf — {doc['preset']}, {doc['threads']} threads, "
         f"{doc['mechanism']} period {doc['period']} (overhead vs the "
@@ -640,16 +705,20 @@ def render(doc: dict) -> str:
     if sweep and sweep.get("workloads"):
         sweep_rows = []
         for name, entry in sweep["workloads"].items():
-            row = [name, f"{entry['serial']['wall_s']:.2f}s"]
-            for n in sweep["workers"]:
-                w = entry.get(f"workers_{n}")
-                row.append(
-                    f"{w['wall_s']:.2f}s ({w['speedup_vs_serial']:.2f}x)"
-                    if w else "-"
-                )
-            sweep_rows.append(row)
+            for suffix, label in (("", "live"), ("_extrap", "extrap")):
+                serial = entry.get("serial" + suffix)
+                if serial is None:
+                    continue
+                row = [name, label, f"{serial['wall_s']:.2f}s"]
+                for n in sweep["workers"]:
+                    w = entry.get(f"workers_{n}{suffix}")
+                    row.append(
+                        f"{w['wall_s']:.2f}s ({w['speedup_vs_serial']:.2f}x)"
+                        if w else "-"
+                    )
+                sweep_rows.append(row)
         table += "\n\n" + fmt_table(
-            ["workload", "serial"]
+            ["workload", "mode", "serial"]
             + [f"{n} workers" for n in sweep["workers"]],
             sweep_rows,
             title=f"workers sweep — monitored runs, host has "

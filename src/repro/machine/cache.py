@@ -203,6 +203,68 @@ class CacheHierarchy:
         self._stream_pos.clear()
         self._last_visit.clear()
 
+    def state_digest(self) -> frozenset:
+        """Translation-invariant digest of the reuse-distance state.
+
+        ``_stream_pos`` grows monotonically, so raw state never reaches
+        a fixed point; but :meth:`_fetch_level` only ever reads the
+        *difference* ``stream_pos[cpu] - last_visit[key]``, so two
+        states whose per-key differences (and key sets) match produce
+        identical classifications for any identical future access
+        stream. Differences are additionally clamped at
+        ``l3_bytes + 1``: beyond it the next access to the key is a
+        DRAM fetch (which then resets its distance) no matter how much
+        further the stream advances, so cold keys from *other* regions
+        don't keep a steady region out of its fixed point. frozenset
+        equality is exact — no hash-collision risk.
+        """
+        pos = self._stream_pos
+        sat = self.config.l3_bytes + 1
+        return frozenset(
+            (key, min(pos.get(key[0], 0) - last, sat))
+            for key, last in self._last_visit.items()
+        )
+
+    def phase_snapshot(self) -> tuple[dict, dict]:
+        """Copy of the raw streaming state (phase-recording baseline)."""
+        return dict(self._stream_pos), dict(self._last_visit)
+
+    def phase_delta(self, snapshot: tuple[dict, dict]) -> tuple[dict, list]:
+        """How one iteration moved the state: per-CPU stream advances
+        and the keys it touched. Both are iteration-invariant for a
+        steady (identical-trace) iteration, which makes
+        :meth:`phase_advance` exact."""
+        snap_pos, snap_lv = snapshot
+        delta_pos = {
+            cpu: pos - snap_pos.get(cpu, 0)
+            for cpu, pos in self._stream_pos.items()
+            if pos != snap_pos.get(cpu, 0)
+        }
+        touched = [
+            key
+            for key, last in self._last_visit.items()
+            if snap_lv.get(key) != last
+        ]
+        return delta_pos, touched
+
+    def phase_advance(self, delta: tuple[dict, list], n: int) -> None:
+        """Fast-forward the state by ``n`` steady iterations, exactly.
+
+        A steady iteration advances each CPU's stream position by a
+        constant and re-visits the same key set at fixed offsets from
+        the stream head, so after ``n`` skipped iterations the exact
+        run's state is: positions advanced ``n`` deltas, touched keys'
+        last-visit markers riding along, untouched keys unchanged
+        (their reuse distances grow by exactly the stream advance).
+        """
+        delta_pos, touched = delta
+        pos = self._stream_pos
+        for cpu, d in delta_pos.items():
+            pos[cpu] = pos.get(cpu, 0) + d * n
+        lv = self._last_visit
+        for key in touched:
+            lv[key] += delta_pos.get(key[0], 0) * n
+
     def _fetch_level(
         self, cpu: int, seg_id: int, first_addr: int, footprint: int
     ) -> int:

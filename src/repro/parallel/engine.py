@@ -37,10 +37,20 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from collections import deque
+
 from repro import obs
 from repro.errors import ProgramError
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.runtime.heap import HeapAllocator
+from repro.runtime.phase import (
+    EpsSample,
+    IterationRecording,
+    PhaseReport,
+    mean_cycles,
+    next_schedule_boundary,
+    relative_spread,
+)
 from repro.runtime.program import ProgramContext, RegionKind
 from repro.runtime.thread import BindingPolicy, bind_threads
 from repro.parallel.worker import _init_worker, _round_task
@@ -79,6 +89,8 @@ class ParallelEngine:
         memoize: bool = True,
         memo_bytes: int | None = None,
         schedule=None,
+        extrapolate: bool = False,
+        extrap_warmup: int = 2,
     ) -> None:
         if n_workers < 1:
             raise ProgramError(f"n_workers must be >= 1, got {n_workers}")
@@ -105,6 +117,14 @@ class ParallelEngine:
         #: every shard applies the same schedule, so the logs agree on
         #: everything except trap attribution, which the log omits).
         self.applied_actions: list = []
+        #: Phase-adaptive extrapolation (see :mod:`repro.runtime.phase`):
+        #: every shard detects fixed points over its slice, the parent
+        #: arms a skip only when all shards agree, so entry/exit rounds
+        #: are identical across worker counts. ``phase_report`` (a
+        #: dict) is attached after a run when enabled.
+        self.extrapolate = bool(extrapolate) and bool(memoize)
+        self.extrap_warmup = max(1, int(extrap_warmup))
+        self.phase_report: dict | None = None
         self.archive = None
         self.threads = None
         self._ran = False
@@ -142,10 +162,13 @@ class ParallelEngine:
             memoize=self.memoize,
             memo_bytes=self.memo_bytes,
             schedule=self.schedule,
+            extrapolate=self.extrapolate,
+            extrap_warmup=self.extrap_warmup,
         )
         result = engine.run()
         self.threads = engine.threads
         self.applied_actions = engine.applied_actions
+        self.phase_report = engine.phase_report
         self.archive = getattr(monitor, "archive", None)
         return result
 
@@ -187,6 +210,7 @@ class ParallelEngine:
             self.machine_factory, self.program_factory, self.n_threads,
             self.binding, self.monitor_factory, self.params, self.seed,
             n_workers, self.memoize, self.memo_bytes, self.schedule,
+            self.extrapolate, self.extrap_warmup,
         )
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
@@ -210,12 +234,14 @@ class ParallelEngine:
         return [payload for _shard, payload in results]
 
     def _drive(self, executor, machine, program, threads, regions) -> RunResult:
-        n_regions = self._round(executor, "start")
+        started = self._round(executor, "start")
+        n_regions = [s["n_regions"] for s in started]
         if any(n != len(regions) for n in n_regions):
             raise ProgramError(
                 "worker/parent region lists diverged: "
                 f"parent has {len(regions)}, workers report {n_regions}"
             )
+        phase_ok = self.extrapolate and all(s["phase_ok"] for s in started)
 
         n_domains = machine.n_domains
         busy = np.zeros(len(threads), dtype=np.float64)
@@ -230,13 +256,80 @@ class ParallelEngine:
         domain_traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
         batch_limit = ExecutionEngine.BATCH_MEAN_ACCESSES
 
+        phase_report = PhaseReport(enabled=self.extrapolate)
         for r_idx, region in enumerate(regions):
             active = (
                 threads
                 if region.kind is RegionKind.PARALLEL
                 else threads[:1]
             )
-            for iteration in range(region.repeat):
+            #: Trailing merged-iteration window: when every shard
+            #: reports an engine fixed point with streak >= warmup, the
+            #: last ``warmup`` live iterations are exactly the steady
+            #: window the serial detector would hold.
+            window: deque = deque(maxlen=self.extrap_warmup)
+            all_ready = all_ready_exact = False
+            n_exact = n_eps = 0
+            eps_max = 0.0
+            breaks_max = 0
+            iteration = 0
+            while iteration < region.repeat:
+                if (
+                    phase_ok
+                    and all_ready
+                    and len(window) >= self.extrap_warmup
+                ):
+                    stop = next_schedule_boundary(
+                        self.schedule, r_idx, iteration, region.repeat
+                    )
+                    n_skip = stop - iteration
+                    if n_skip > 0:
+                        shard_eps = self._round(
+                            executor, "extrapolate_iterations",
+                            r_idx, n_skip, stop == region.repeat,
+                        )
+                        last = window[-1].rec
+                        if all_ready_exact:
+                            # The same float adds, in the same order,
+                            # the serial extrapolation performs.
+                            for _ in range(n_skip):
+                                for t in active:
+                                    busy[t.tid] += last.region_cycles[t.tid]
+                                wall += last.elapsed
+                                region_wall[region.name] = (
+                                    region_wall.get(region.name, 0.0)
+                                    + last.elapsed
+                                )
+                            n_exact += n_skip
+                        else:
+                            rc_mean, elapsed_mean = mean_cycles(list(window))
+                            for t in active:
+                                busy[t.tid] += rc_mean[t.tid] * n_skip
+                            wall += elapsed_mean * n_skip
+                            region_wall[region.name] = (
+                                region_wall.get(region.name, 0.0)
+                                + elapsed_mean * n_skip
+                            )
+                            eps = relative_spread(
+                                [s.rec.elapsed for s in window]
+                            )
+                            for tid in window[0].rec.region_cycles:
+                                eps = max(eps, relative_spread(
+                                    [s.rec.region_cycles[tid] for s in window]
+                                ))
+                            for payload in shard_eps:
+                                eps = max(eps, payload["eps"])
+                            eps_max = max(eps_max, eps)
+                            n_eps += n_skip
+                        total_instructions += last.ints["instructions"] * n_skip
+                        total_accesses += last.ints["accesses"] * n_skip
+                        total_chunks += last.ints["chunks"] * n_skip
+                        dram_accesses += last.ints["dram"] * n_skip
+                        remote_dram += last.ints["remote_dram"] * n_skip
+                        domain_requests += last.requests * n_skip
+                        domain_traffic += last.traffic * n_skip
+                        iteration = stop
+                        continue
                 gen = self._round(executor, "gen_iteration", r_idx, iteration)
                 n_steps = max((g["n_chunks"].size for g in gen), default=0)
                 n_active = np.zeros(n_steps, dtype=np.int64)
@@ -277,16 +370,30 @@ class ParallelEngine:
 
                 fin = self._round(executor, "finish_iteration", inflation)
                 region_cycles: dict[int, float] = {}
+                it_ints = {
+                    "instructions": 0, "accesses": 0, "chunks": 0,
+                    "dram": 0, "remote_dram": 0,
+                }
+                it_traffic = np.zeros((n_domains, n_domains), dtype=np.int64)
                 for f in fin:
                     region_cycles.update(f["region_cycles"])
-                    total_instructions += f["instructions"]
-                    total_accesses += f["accesses"]
-                    total_chunks += f["chunks"]
-                    dram_accesses += f["dram"]
-                    remote_dram += f["remote_dram"]
-                    domain_traffic += f["traffic"]
+                    it_ints["instructions"] += f["instructions"]
+                    it_ints["accesses"] += f["accesses"]
+                    it_ints["chunks"] += f["chunks"]
+                    it_ints["dram"] += f["dram"]
+                    it_ints["remote_dram"] += f["remote_dram"]
+                    it_traffic += f["traffic"]
+                total_instructions += it_ints["instructions"]
+                total_accesses += it_ints["accesses"]
+                total_chunks += it_ints["chunks"]
+                dram_accesses += it_ints["dram"]
+                remote_dram += it_ints["remote_dram"]
+                domain_traffic += it_traffic
+                it_requests = step_requests.sum(axis=0) if n_steps else (
+                    np.zeros(n_domains, dtype=np.int64)
+                )
                 if n_steps:
-                    domain_requests += step_requests.sum(axis=0)
+                    domain_requests += it_requests
 
                 elapsed = max(region_cycles.values()) if region_cycles else 0.0
                 for t in active:
@@ -296,6 +403,45 @@ class ParallelEngine:
                     region_wall.get(region.name, 0.0) + elapsed
                 )
 
+                if phase_ok:
+                    infos = [f["phase"] for f in fin]
+                    all_ready = all(
+                        p is not None
+                        and (p["ready_exact"] or p["ready_eps"])
+                        for p in infos
+                    )
+                    all_ready_exact = all(
+                        p is not None and p["ready_exact"] for p in infos
+                    )
+                    breaks_max = max(breaks_max, max(
+                        (p["breaks"] for p in infos if p is not None),
+                        default=0,
+                    ))
+                    window.append(EpsSample(
+                        rec=IterationRecording(
+                            ints=it_ints,
+                            requests=it_requests,
+                            traffic=it_traffic,
+                            region_cycles=region_cycles,
+                            elapsed=elapsed,
+                            oh_ops=[],
+                        ),
+                        oh_delta=None,
+                        monitor_delta=None,
+                    ))
+                iteration += 1
+
+            if self.extrapolate:
+                stats_r = phase_report.region(region.name)
+                stats_r.iterations += region.repeat
+                stats_r.extrapolated_exact += n_exact
+                stats_r.extrapolated_eps += n_eps
+                stats_r.simulated += region.repeat - n_exact - n_eps
+                stats_r.breaks += breaks_max
+                stats_r.epsilon = max(stats_r.epsilon, eps_max)
+
+        if self.extrapolate:
+            self.phase_report = phase_report.as_dict()
         final = self._round(executor, "finish_run")
         if final:
             self.applied_actions = final[0].get("applied_actions", [])

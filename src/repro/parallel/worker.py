@@ -40,6 +40,7 @@ import numpy as np
 
 from repro import obs
 from repro.runtime.engine import ExecutionEngine, _StepMem
+from repro.runtime.phase import IterationRecording, PhaseDetector
 from repro.runtime.program import RegionKind
 from repro.units import fast_unique
 
@@ -81,6 +82,16 @@ class ShardEngine(ExecutionEngine):
         self._iter_region = None
         self._iter_region_idx: int | None = None
         self._iter_use_memo = False
+        #: Phase detection over this shard's slice. Every worker digests
+        #: its own partition of the step stream (epoch + its chunks'
+        #: memo keys + its threads' sampling state); the parent arms
+        #: extrapolation only when every shard reports a fixed point, so
+        #: the union condition matches the serial detector exactly.
+        self._shard_detector: PhaseDetector | None = None
+        self._iter_requests = None
+        self._iter_cache_snap = None
+        self._iter_mon_snap = None
+        self._iter_oh_base = None
 
     def owns(self, tid: int) -> bool:
         """Whether this shard executes (and attributes) thread ``tid``."""
@@ -90,14 +101,25 @@ class ShardEngine(ExecutionEngine):
     # rounds
     # ------------------------------------------------------------------ #
 
-    def start(self) -> int:
-        """Run-start: monitor hookup + program setup; returns #regions."""
+    def start(self) -> dict:
+        """Run-start: monitor hookup + program setup.
+
+        Returns the region count (parent cross-checks every shard agrees
+        with its bookkeeping copy) and whether this shard can take part
+        in phase extrapolation.
+        """
         if self.monitor is not None:
             self.heap.add_monitor(self.monitor)
             self.monitor.on_run_start(self)
         self.program.setup(self.ctx)
         self._regions = self.program.regions(self.ctx)
-        return len(self._regions)
+        return {
+            "n_regions": len(self._regions),
+            "phase_ok": bool(
+                self.extrapolate
+                and (self.monitor is None or self.monitor.phase_supported())
+            ),
+        }
 
     def gen_iteration(self, region_idx: int, iteration: int) -> dict:
         """Round A: drain this shard's generators for one iteration.
@@ -113,12 +135,48 @@ class ShardEngine(ExecutionEngine):
         exactly.
         """
         region = self._regions[region_idx]
+        memo = self.memo
+        use_memo = memo is not None and region.repeat > 1 and region.memoize
+        fired = False
         if self.schedule is not None:
             # Every shard applies the identical scheduled migrations on
             # its page-table replica before any thread enters the region
             # — the sharded counterpart of the serial engine's call at
             # the top of the iteration loop. Epochs advance in lockstep.
-            self._apply_schedule(region_idx, region, iteration)
+            fired = self._apply_schedule(region_idx, region, iteration)
+        if iteration == 0:
+            detector = None
+            if (
+                self.extrapolate
+                and use_memo
+                and region.repeat > self.extrap_warmup + 1
+                and (self.monitor is None or self.monitor.phase_supported())
+            ):
+                detector = PhaseDetector(
+                    region.name,
+                    warmup=self.extrap_warmup,
+                    allow_eps=self.monitor is not None,
+                    monitor_present=self.monitor is not None,
+                )
+            self._shard_detector = detector
+        else:
+            detector = self._shard_detector
+        if detector is not None:
+            if fired:
+                detector.invalidate()
+            # Recording hooks mirror the serial engine's live-iteration
+            # setup and must precede the monitor's region-enter callback
+            # so the replay program covers the whole iteration.
+            self._phase_oh_rec = []
+            self._phase_sig = []
+            self._iter_cache_snap = self.machine.cache.phase_snapshot()
+            self._iter_oh_base = None
+            self._iter_mon_snap = None
+            if self.monitor is not None:
+                self.monitor.phase_record_begin()
+                if detector.allow_eps:
+                    self._iter_mon_snap = self.monitor.phase_snapshot()
+                    self._iter_oh_base = self._overhead_by_tid.copy()
         active = (
             self.threads
             if region.kind is RegionKind.PARALLEL
@@ -129,9 +187,6 @@ class ShardEngine(ExecutionEngine):
             self.callstacks[t.tid].push(region.src)
             if self.monitor is not None:
                 self.monitor.on_region_enter(t.tid, region, iteration)
-
-        memo = self.memo
-        use_memo = memo is not None and region.repeat > 1 and region.memoize
         cached = memo.gen_get(region_idx) if use_memo else None
         if cached is not None:
             steps, n_chunks, n_mem, acc_sum = cached
@@ -254,6 +309,8 @@ class ShardEngine(ExecutionEngine):
             requests[s] = st.step_requests
             states.append(st)
         self._iter_states = states
+        if self._shard_detector is not None:
+            self._iter_requests = requests.sum(axis=0)
         return requests
 
     def finish_iteration(self, inflation: np.ndarray) -> dict:
@@ -296,11 +353,7 @@ class ShardEngine(ExecutionEngine):
             self.callstacks[t.tid].pop()
         if self.memo is not None and iteration == region.repeat - 1:
             self.memo.release_region(self._iter_region_idx)
-        self._iter_steps = None
-        self._iter_states = None
-        self._iter_owned = None
-        self._iter_region = None
-        return {
+        payload = {
             "region_cycles": region_cycles,
             "instructions": instructions,
             "accesses": accesses,
@@ -308,7 +361,99 @@ class ShardEngine(ExecutionEngine):
             "dram": dram,
             "remote_dram": remote_dram,
             "traffic": traffic,
+            "phase": None,
         }
+        detector = self._shard_detector
+        if detector is not None:
+            sig = self._phase_sig or []
+            self._phase_oh_rec, oh_ops = None, self._phase_oh_rec
+            self._phase_sig = None
+            mon_digest: object = ()
+            mon_prog = None
+            mon_delta = None
+            if self.monitor is not None:
+                mon_prog = self.monitor.phase_record_end()
+                mon_digest = self.monitor.phase_digest()
+                if self._iter_mon_snap is not None:
+                    mon_delta = self.monitor.phase_delta(self._iter_mon_snap)
+            rec = IterationRecording(
+                ints={
+                    "instructions": instructions,
+                    "accesses": accesses,
+                    "chunks": chunks,
+                    "dram": dram,
+                    "remote_dram": remote_dram,
+                },
+                requests=self._iter_requests,
+                traffic=traffic,
+                region_cycles=region_cycles,
+                elapsed=0.0,  # merged elapsed lives with the parent
+                oh_ops=oh_ops or [],
+                cache_delta=self.machine.cache.phase_delta(
+                    self._iter_cache_snap
+                ),
+                monitor_prog=mon_prog,
+            )
+            detector.end_live_iteration(
+                (self.machine.page_table.epoch, tuple(sig)),
+                mon_digest,
+                rec,
+                self._overhead_by_tid - self._iter_oh_base
+                if self._iter_oh_base is not None else None,
+                mon_delta,
+            )
+            payload["phase"] = {
+                "ready_exact": detector.ready_exact,
+                "ready_eps": detector.ready_eps,
+                "breaks": detector.breaks,
+            }
+            self._iter_cache_snap = None
+            self._iter_mon_snap = None
+            self._iter_oh_base = None
+            self._iter_requests = None
+        self._iter_steps = None
+        self._iter_states = None
+        self._iter_owned = None
+        self._iter_region = None
+        return payload
+
+    def extrapolate_iterations(
+        self, region_idx: int, n_skip: int, release: bool
+    ) -> dict:
+        """Extrapolation round: apply ``n_skip`` iterations shard-locally.
+
+        The parent has verified every shard reported a fixed point (and
+        clamped the skip to the next scheduled boundary); this shard
+        replays its recorded per-iteration effects — monitor program,
+        overhead adds, cache streaming advance — without simulating.
+        The parent folds the merged cycle/integer quantities itself.
+        """
+        detector = self._shard_detector
+        rec = detector.last_rec
+        eps = 0.0
+        if detector.ready_exact:
+            for _ in range(n_skip):
+                for tid, oh in rec.oh_ops:
+                    self._overhead_by_tid[tid] += oh
+            if self.monitor is not None:
+                self.monitor.phase_replay(rec.monitor_prog, n_skip)
+        else:
+            window = detector.window
+            oh_mean = window[0].oh_delta.copy()
+            for s in window[1:]:
+                oh_mean += s.oh_delta
+            oh_mean /= len(window)
+            self._overhead_by_tid += oh_mean * n_skip
+            eps = detector.eps_value()
+            if self.monitor is not None:
+                eps = max(eps, self.monitor.extrapolate_flush(
+                    [s.monitor_delta for s in window], n_skip
+                ))
+        if rec.cache_delta is not None:
+            self.machine.cache.phase_advance(rec.cache_delta, n_skip)
+        if release and self.memo is not None:
+            self.memo.release_region(region_idx)
+        return {"eps": eps}
 
     def finish_run(self) -> dict:
         """Final round: flush the monitor and ship this shard's results.
@@ -376,7 +521,7 @@ def _init_worker(claim_queue, barrier, spec) -> None:
     (
         machine_factory, program_factory, n_threads, binding,
         monitor_factory, params, seed, n_shards, memoize, memo_bytes,
-        schedule,
+        schedule, extrapolate, extrap_warmup,
     ) = spec
     monitor = monitor_factory() if monitor_factory is not None else None
     engine = ShardEngine(
@@ -392,6 +537,8 @@ def _init_worker(claim_queue, barrier, spec) -> None:
         memoize=memoize,
         memo_bytes=memo_bytes,
         schedule=schedule,
+        extrapolate=extrapolate,
+        extrap_warmup=extrap_warmup,
     )
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard

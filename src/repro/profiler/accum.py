@@ -43,6 +43,21 @@ class RowTable:
         self.n_rows = need
         return first
 
+    def snapshot(self) -> np.ndarray:
+        """Copy of the live rows (phase-extrapolation ε deltas)."""
+        return self.data[: self.n_rows].copy()
+
+    def scale_rows(self, delta: np.ndarray, factor: float) -> None:
+        """Add ``delta * factor`` onto the leading rows.
+
+        The extrapolation path: instead of re-scattering per-sample
+        updates for skipped iterations, a steady iteration's per-row
+        delta is multiplied on in one vector op. ``delta`` may cover
+        fewer rows than are now live (rows interned after the snapshot
+        contributed nothing to it).
+        """
+        self.data[: delta.shape[0]] += delta * factor
+
 
 class MinMaxTable:
     """Growable ``(rows, 2)`` [min, max] accumulator for address ranges.

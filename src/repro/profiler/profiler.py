@@ -41,6 +41,7 @@ from repro.runtime.callstack import CallPath
 from repro.runtime.chunks import AccessChunk
 from repro.runtime.engine import ChunkView, ExecutionEngine, Monitor, RunResult
 from repro.runtime.heap import Variable, VariableKind
+from repro.runtime.phase import relative_spread
 from repro.sampling.base import SamplingMechanism
 
 
@@ -120,6 +121,10 @@ class NumaProfiler(Monitor):
         self._engine: ExecutionEngine | None = None
         self._heat: dict[int, dict[int, list[float]]] = {}
         self._page_size = 0
+        #: Live accumulation-op recording (phase extrapolation); None
+        #: when not recording. See :meth:`phase_record_begin`.
+        self._phase_ops: list | None = None
+        self._phase_t0 = (0, 0)
 
     # ------------------------------------------------------------------ #
     # Monitor hooks
@@ -303,6 +308,18 @@ class NumaProfiler(Monitor):
                 views, step, counting, lat_ok
             )
         else:
+            # Recording collectors (phase extrapolation): the scalar
+            # adds below are packed into the same vectorized op shapes
+            # the memoized path records — each step's views hold
+            # distinct tids, so one vector add per row replays the
+            # identical per-element float adds.
+            rec_ops = self._phase_ops
+            rec_tids: list[int] = []
+            rec_add: list[list[float]] = []
+            rec_urows: list[int] = []
+            rec_uins: list[float] = []
+            rec_unsi: list[float] = []
+            rec_urev: list[float] = []
             for k, v in enumerate(views):
                 chunk = v.chunk
                 tid = v.tid
@@ -316,6 +333,9 @@ class NumaProfiler(Monitor):
                 c[3] += nsi[k]
                 c[4] += nev[k]
                 ctr_seen[tid] = True
+                if rec_ops is not None:
+                    rec_tids.append(tid)
+                    rec_add.append([n_ins, n_acc, n_s, nsi[k], nev[k]])
 
                 remote_events = 0
                 if counting and n_acc:
@@ -331,6 +351,11 @@ class NumaProfiler(Monitor):
                     row[0] += n_ins
                     row[1] += nsi[k]
                     row[7] += remote_events
+                    if rec_ops is not None:
+                        rec_urows.append(crow)
+                        rec_uins.append(n_ins)
+                        rec_unsi.append(nsi[k])
+                        rec_urev.append(remote_events)
                     continue
 
                 idx = indices[starts[k]:starts[k + 1]]
@@ -351,6 +376,20 @@ class NumaProfiler(Monitor):
                     m[6] = s_lat[remote].sum()
                 crows.append(crow)
                 sampled.append((v, chunk.addrs[idx], remote, s_lat, m))
+            if rec_ops is not None and rec_tids:
+                rec_ops.append((
+                    "ctr",
+                    np.array(rec_tids, dtype=np.int64),
+                    np.array(rec_add, dtype=np.float64),
+                ))
+            if rec_ops is not None and rec_urows:
+                rec_ops.append((
+                    "code_u",
+                    np.array(rec_urows, dtype=np.int64),
+                    np.array(rec_uins, dtype=np.float64),
+                    np.array(rec_unsi, dtype=np.float64),
+                    np.array(rec_urev, dtype=np.float64),
+                ))
 
         if sampled:
             if traced:
@@ -425,6 +464,15 @@ class NumaProfiler(Monitor):
         data[rows_u, 1] += nsi[unsampled]
         if rev is not None:
             data[rows_u, 7] += rev[unsampled]
+        ops = self._phase_ops
+        if ops is not None:
+            # Operands are freshly allocated per step (fancy indexing
+            # copies), so the recorded refs stay valid for replay.
+            ops.append(("ctr", tids, add))
+            ops.append((
+                "code_u", rows_u, n_ins[unsampled], nsi[unsampled],
+                None if rev is None else rev[unsampled],
+            ))
 
         crows: list[int] = []
         sampled: list[tuple] = []
@@ -514,9 +562,12 @@ class NumaProfiler(Monitor):
 
         # All rows are interned: table buffers are stable from here on.
         M = np.stack([s[4] for s in sampled])
-        np.add.at(self._code_tab.data, np.asarray(crows), M)
-        np.add.at(self._var_tab.data, np.asarray(vrows), M)
-        np.add.at(self._data_tab.data, np.asarray(drows), M)
+        crows_a = np.asarray(crows)
+        vrows_a = np.asarray(vrows)
+        drows_a = np.asarray(drows)
+        np.add.at(self._code_tab.data, crows_a, M)
+        np.add.at(self._var_tab.data, vrows_a, M)
+        np.add.at(self._data_tab.data, drows_a, M)
 
         cs = np.array([len(s[1]) for s in sampled])
         addrs = np.concatenate([s[1] for s in sampled])
@@ -536,17 +587,19 @@ class NumaProfiler(Monitor):
         btab = self._bin_tab.data
         cnt = np.bincount(rows, minlength=n_rows)
         mis = np.bincount(rows[remote], minlength=n_rows)
+        match = cnt - mis
         btab[:n_rows, 0] += cnt
-        btab[:n_rows, 1] += cnt - mis
+        btab[:n_rows, 1] += match
         btab[:n_rows, 2] += mis
+        lat_b = lat_rb = None
         if lat_ok:
             lat = np.concatenate([s[3] for s in sampled])
-            btab[:n_rows, 3] += np.bincount(
-                rows, weights=lat, minlength=n_rows
-            )
-            btab[:n_rows, 4] += np.bincount(
+            lat_b = np.bincount(rows, weights=lat, minlength=n_rows)
+            lat_rb = np.bincount(
                 rows[remote], weights=lat[remote], minlength=n_rows
             )
+            btab[:n_rows, 3] += lat_b
+            btab[:n_rows, 4] += lat_rb
 
         # Address ranges: row 0 of each block tracks the whole variable,
         # rows 1.. its bins — cover both with one scatter each.
@@ -557,6 +610,16 @@ class NumaProfiler(Monitor):
         mm = self._mm.data
         np.minimum.at(mm[:, 0], rng_rows, vals)
         np.maximum.at(mm[:, 1], rng_rows, vals)
+
+        ops = self._phase_ops
+        if ops is not None:
+            # The min/max range scatter is deliberately not recorded: a
+            # bit-identical skipped iteration applies the same values,
+            # so replaying it is an exact no-op.
+            ops.append((
+                "samples", crows_a, vrows_a, drows_a, M,
+                cnt, match, mis, lat_b, lat_rb,
+            ))
 
     def _accumulate_heat(self, sampled: list[tuple], lat_ok: bool) -> None:
         """Fold one step's samples into the per-(thread, page) heatmap.
@@ -669,6 +732,181 @@ class NumaProfiler(Monitor):
             s_lat if lat_captured else None, metrics,
         )
         return self.mechanism.cost_cycles(batch, chunk)
+
+    # ------------------------------------------------------------------ #
+    # Phase-extrapolation protocol (repro.runtime.phase)
+    # ------------------------------------------------------------------ #
+
+    def phase_supported(self) -> bool:
+        """Deferred + memoized accumulation can record/replay deltas.
+
+        The heatmap path accumulates into per-(tid, page) dicts that the
+        recorder does not capture, so it opts out; non-deferred mode
+        attributes immediately into CCTs (nothing to scale); the memo
+        gate keeps the recorded op shapes aligned with the engine's
+        cached-views fast path.
+        """
+        return self.deferred and self.memoize and not self.heatmap
+
+    def phase_digest(self):
+        """Mutable state affecting future selections: the mechanism's."""
+        return self.mechanism.state_digest()
+
+    def phase_record_begin(self) -> None:
+        """Start recording this iteration's accumulation operations."""
+        self._phase_ops = []
+        self._phase_t0 = (
+            self.mechanism.total_samples, self.mechanism.total_events
+        )
+
+    def phase_record_end(self):
+        """Stop recording; return the replayable delta program.
+
+        The program is ``(ops, d_samples, d_events)`` — exactly what
+        :meth:`phase_replay` re-applies per extrapolated iteration.
+        """
+        ops = self._phase_ops
+        self._phase_ops = None
+        t0 = self._phase_t0
+        return (
+            ops,
+            self.mechanism.total_samples - t0[0],
+            self.mechanism.total_events - t0[1],
+        )
+
+    def phase_replay(self, prog, n: int) -> None:
+        """Re-apply one recorded iteration's accumulation ``n`` times.
+
+        This is the exact (ε = 0) path: the identical numpy operations
+        on the identical operand arrays in the identical order the live
+        iteration performed, so the accumulated floats are bit-identical
+        to having simulated the skipped iterations.
+        """
+        ops, d_samples, d_events = prog
+        ctr = self._ctr
+        for _ in range(n):
+            for op in ops:
+                tag = op[0]
+                if tag == "ctr":
+                    ctr[op[1]] += op[2]
+                elif tag == "code_u":
+                    data = self._code_tab.data
+                    rows_u = op[1]
+                    data[rows_u, 0] += op[2]
+                    data[rows_u, 1] += op[3]
+                    if op[4] is not None:
+                        data[rows_u, 7] += op[4]
+                else:  # "samples"
+                    (_, crows_a, vrows_a, drows_a, M,
+                     cnt, match, mis, lat_b, lat_rb) = op
+                    np.add.at(self._code_tab.data, crows_a, M)
+                    np.add.at(self._var_tab.data, vrows_a, M)
+                    np.add.at(self._data_tab.data, drows_a, M)
+                    btab = self._bin_tab.data
+                    nb = cnt.shape[0]
+                    btab[:nb, 0] += cnt
+                    btab[:nb, 1] += match
+                    btab[:nb, 2] += mis
+                    if lat_b is not None:
+                        btab[:nb, 3] += lat_b
+                        btab[:nb, 4] += lat_rb
+        self.mechanism.total_samples += d_samples * n
+        self.mechanism.total_events += d_events * n
+
+    def phase_snapshot(self):
+        """Accumulator snapshot for ε-mode per-iteration deltas."""
+        return {
+            "code": self._code_tab.snapshot(),
+            "var": self._var_tab.snapshot(),
+            "data": self._data_tab.snapshot(),
+            "bin": self._bin_tab.snapshot(),
+            "ctr": self._ctr.copy(),
+            "totals": (
+                self.mechanism.total_samples, self.mechanism.total_events
+            ),
+            "rows": (
+                self._code_tab.n_rows, self._var_tab.n_rows,
+                self._data_tab.n_rows, self._bin_tab.n_rows,
+                self._mm.n_rows,
+            ),
+        }
+
+    def phase_delta(self, snapshot):
+        """Delta since ``snapshot``.
+
+        The accumulator tables are append-only with stable row indices,
+        so a row interned *after* the snapshot simply deltas from zero —
+        sparse sampling that keeps discovering new (path, var, bin) rows
+        mid-window does not restart ε detection.
+        """
+        def delta(tab, snap):
+            cur = tab.data[: tab.n_rows]
+            if snap.shape[0] == cur.shape[0]:
+                return cur - snap
+            out = cur.copy()
+            out[: snap.shape[0]] -= snap
+            return out
+
+        t0 = snapshot["totals"]
+        return {
+            "code": delta(self._code_tab, snapshot["code"]),
+            "var": delta(self._var_tab, snapshot["var"]),
+            "data": delta(self._data_tab, snapshot["data"]),
+            "bin": delta(self._bin_tab, snapshot["bin"]),
+            "ctr": self._ctr - snapshot["ctr"],
+            "samples": self.mechanism.total_samples - t0[0],
+            "events": self.mechanism.total_events - t0[1],
+        }
+
+    def extrapolate_flush(self, deltas: list, n: int) -> float:
+        """ε-mode extrapolation: scale the window-mean deltas onto the
+        deferred accumulators (multiply instead of re-scatter).
+
+        Returns the observed relative half-spread across the window (the
+        declared ε contribution). [min, max] address ranges are left at
+        their simulated-window values — see MODEL.md for the contract.
+        """
+        w = len(deltas)
+        eps = 0.0
+
+        def padded(arrs):
+            # Window entries may predate rows interned later in the
+            # window; a missing row's delta was exactly zero then.
+            rows = max(a.shape[0] for a in arrs)
+            out = []
+            for a in arrs:
+                if a.shape[0] < rows:
+                    b = np.zeros((rows, a.shape[1]), dtype=a.dtype)
+                    b[: a.shape[0]] = a
+                    a = b
+                out.append(a)
+            return out
+
+        for key, tab in (
+            ("code", self._code_tab), ("var", self._var_tab),
+            ("data", self._data_tab), ("bin", self._bin_tab),
+        ):
+            aligned = padded([d[key] for d in deltas])
+            mean = aligned[0].copy()
+            for d in aligned[1:]:
+                mean += d
+            mean /= w
+            tab.scale_rows(mean, float(n))
+            for j in range(mean.shape[1]):
+                eps = max(eps, relative_spread(
+                    [float(d[key][:, j].sum()) for d in deltas]
+                ))
+        ctr_mean = deltas[0]["ctr"].copy()
+        for d in deltas[1:]:
+            ctr_mean += d["ctr"]
+        ctr_mean /= w
+        self._ctr += ctr_mean * n
+        s_vals = [float(d["samples"]) for d in deltas]
+        e_vals = [float(d["events"]) for d in deltas]
+        eps = max(eps, relative_spread(s_vals), relative_spread(e_vals))
+        self.mechanism.total_samples += int(round(sum(s_vals) / w * n))
+        self.mechanism.total_events += int(round(sum(e_vals) / w * n))
+        return eps
 
     def on_run_end(self, result: RunResult) -> None:
         """Flush deferred accumulators and attach the run's timing result.

@@ -40,6 +40,13 @@ from repro.runtime.memo import (
     StepViews,
     _nbytes,
 )
+from repro.runtime.phase import (
+    IterationRecording,
+    PhaseDetector,
+    PhaseReport,
+    mean_cycles,
+    next_schedule_boundary,
+)
 from repro.runtime.program import Program, ProgramContext, Region, RegionKind
 from repro.runtime.thread import BindingPolicy, SimThread, bind_threads
 
@@ -354,6 +361,46 @@ class Monitor:
     def on_run_end(self, result: "RunResult") -> None:
         """Called once after the last region."""
 
+    # -- phase-extrapolation protocol (see repro.runtime.phase) -------- #
+    #
+    # A monitor that cannot participate leaves ``phase_supported`` False
+    # and the engine simply never extrapolates monitored regions; the
+    # remaining hooks are only called when it returns True (or when the
+    # engine runs unmonitored, in which case none of them are called).
+
+    def phase_supported(self) -> bool:
+        """Whether this monitor can record/replay iteration deltas."""
+        return False
+
+    def phase_digest(self):
+        """Hashable digest of mutable state that affects future output."""
+        return None
+
+    def phase_record_begin(self) -> None:
+        """Start recording this iteration's accumulation program."""
+
+    def phase_record_end(self):
+        """Finish recording; returns the replayable program."""
+        return None
+
+    def phase_replay(self, prog, n: int) -> None:
+        """Re-apply a recorded iteration program ``n`` times (exactly)."""
+
+    def phase_snapshot(self):
+        """Snapshot accumulator state for ε-mode delta extraction."""
+        return None
+
+    def phase_delta(self, snapshot):
+        """Delta since ``snapshot``; None if structure changed (ε reset)."""
+        return None
+
+    def extrapolate_flush(self, deltas: list, n: int) -> float:
+        """Apply the window-mean of ``deltas`` scaled by ``n`` iterations.
+
+        Returns the observed relative half-spread (ε contribution).
+        """
+        return 0.0
+
 
 @dataclass
 class RunResult:
@@ -450,6 +497,8 @@ class ExecutionEngine:
         memoize: bool = True,
         memo_bytes: int | None = None,
         schedule=None,
+        extrapolate: bool = False,
+        extrap_warmup: int = 2,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -470,6 +519,17 @@ class ExecutionEngine:
         self.schedule = schedule
         #: Log of schedule applications (``AppliedAction``), in order.
         self.applied_actions: list[AppliedAction] = []
+        #: Phase-adaptive extrapolation (see :mod:`repro.runtime.phase`).
+        #: Requires memoization; exact (ε=0) whenever the monitor's
+        #: selection state also reaches a fixed point, ε-accounted
+        #: otherwise. ``phase_report`` (a dict) is attached after the run.
+        self.extrapolate = bool(extrapolate) and memoize
+        self.extrap_warmup = max(1, int(extrap_warmup))
+        self.phase_report: dict | None = None
+        #: Per-iteration recording hooks (active only while a detector
+        #: is live): overhead (tid, cycles) pairs and memo variant keys.
+        self._phase_oh_rec: list | None = None
+        self._phase_sig: list | None = None
         self._scratch = ScratchPool()
         self._ran = False
 
@@ -489,7 +549,7 @@ class ExecutionEngine:
 
     def _apply_schedule(
         self, region_idx: int, region: Region, iteration: int
-    ) -> None:
+    ) -> bool:
         """Apply scheduled live migrations at this iteration boundary.
 
         Runs before any thread enters the region (and before the memo
@@ -498,10 +558,11 @@ class ExecutionEngine:
         mutations in the same order and arrives at the same epoch. A
         failed migration is atomic (see ``PageTable.migrate_segment``):
         it is logged with ``ok=False`` and the run continues unchanged.
+        Returns whether any action was scheduled here (a phase break).
         """
         steps = self.schedule.steps_for(region_idx, iteration)
         if not steps:
-            return
+            return False
         tr = obs.TRACER
         page_table = self.machine.page_table
         for step in steps:
@@ -551,6 +612,72 @@ class ExecutionEngine:
             finally:
                 if tr.enabled:
                     tr.end()
+        return True
+
+    def _phase_extrapolate(
+        self, detector, region, active, n_skip, busy, overhead_by_tid,
+        domain_requests, domain_traffic, wall, region_wall, tr,
+    ):
+        """Apply ``n_skip`` iterations' deltas without simulating them.
+
+        Exact mode replays the recorded fixed-point iteration — the same
+        float adds in the same order the live loop would perform — so
+        the result is bit-identical to simulating (ε = 0). ε mode
+        (engine steady, sampling jittered) folds the window-mean cycle
+        and overhead deltas and has the monitor scale its window-mean
+        accumulator deltas; engine-pure integers multiply exactly in
+        both modes. Returns ``(wall, int_deltas, mode, eps)``.
+        """
+        name = region.name
+        mode = "exact" if detector.ready_exact else "eps"
+        if tr.enabled:
+            tr.begin(
+                "engine.phase.extrapolate", "engine",
+                region=name, iterations=n_skip, mode=mode,
+            )
+        eps = 0.0
+        if mode == "exact":
+            rec = detector.last_rec
+            for _ in range(n_skip):
+                for t in active:
+                    busy[t.tid] += rec.region_cycles[t.tid]
+                wall += rec.elapsed
+                region_wall[name] = region_wall.get(name, 0.0) + rec.elapsed
+                for tid, oh in rec.oh_ops:
+                    overhead_by_tid[tid] += oh
+            if self.monitor is not None:
+                self.monitor.phase_replay(rec.monitor_prog, n_skip)
+        else:
+            window = detector.window
+            rec = window[-1].rec
+            rc_mean, elapsed_mean = mean_cycles(window)
+            for t in active:
+                busy[t.tid] += rc_mean[t.tid] * n_skip
+            wall += elapsed_mean * n_skip
+            region_wall[name] = (
+                region_wall.get(name, 0.0) + elapsed_mean * n_skip
+            )
+            oh_mean = window[0].oh_delta.copy()
+            for s in window[1:]:
+                oh_mean += s.oh_delta
+            oh_mean /= len(window)
+            overhead_by_tid += oh_mean * n_skip
+            eps = detector.eps_value()
+            if self.monitor is not None:
+                eps = max(eps, self.monitor.extrapolate_flush(
+                    [s.monitor_delta for s in window], n_skip
+                ))
+        domain_requests += rec.requests * n_skip
+        domain_traffic += rec.traffic * n_skip
+        ints = {k: v * n_skip for k, v in rec.ints.items()}
+        if rec.cache_delta is not None:
+            # Fast-forward the reuse-distance state so regions after
+            # this one classify bit-identically to the exact run.
+            self.machine.cache.phase_advance(rec.cache_delta, n_skip)
+        if tr.enabled:
+            tr.count("engine.phase.extrapolated_iterations", n_skip)
+            tr.end()
+        return wall, ints, mode, eps
 
     def _run(self, tr) -> RunResult:
         if self.monitor is not None:
@@ -582,6 +709,7 @@ class ExecutionEngine:
         domain_traffic = np.zeros(
             (self.machine.n_domains, self.machine.n_domains), dtype=np.int64
         )
+        phase_report = PhaseReport(enabled=self.extrapolate)
 
         for region_idx, region in enumerate(regions):
             active = (
@@ -593,10 +721,64 @@ class ExecutionEngine:
             use_memo = (
                 memo is not None and region.repeat > 1 and region.memoize
             )
-            for iteration in range(region.repeat):
+            detector = None
+            if (
+                self.extrapolate
+                and use_memo
+                and region.repeat > self.extrap_warmup + 1
+                and (self.monitor is None or self.monitor.phase_supported())
+            ):
+                detector = PhaseDetector(
+                    region.name,
+                    warmup=self.extrap_warmup,
+                    allow_eps=self.monitor is not None,
+                    monitor_present=self.monitor is not None,
+                )
+            n_exact = n_eps = 0
+            eps_max = 0.0
+            iteration = 0
+            while iteration < region.repeat:
                 if self.schedule is not None:
-                    self._apply_schedule(region_idx, region, iteration)
+                    fired = self._apply_schedule(region_idx, region, iteration)
+                    if fired and detector is not None:
+                        detector.invalidate()
+                if detector is not None and detector.ready:
+                    stop = next_schedule_boundary(
+                        self.schedule, region_idx, iteration, region.repeat
+                    )
+                    n_skip = stop - iteration
+                    if n_skip > 0:
+                        wall, ints, mode, eps = self._phase_extrapolate(
+                            detector, region, active, n_skip, busy,
+                            overhead_by_tid, domain_requests, domain_traffic,
+                            wall, region_wall, tr,
+                        )
+                        total_instructions += ints["instructions"]
+                        total_accesses += ints["accesses"]
+                        total_chunks += ints["chunks"]
+                        dram_accesses += ints["dram"]
+                        remote_dram += ints["remote_dram"]
+                        if mode == "exact":
+                            n_exact += n_skip
+                        else:
+                            n_eps += n_skip
+                            eps_max = max(eps_max, eps)
+                        iteration = stop
+                        continue
                 traced = tr.enabled
+                oh_ops: list = []
+                mon_snap = None
+                oh_base = None
+                cache_snap = None
+                if detector is not None:
+                    self._phase_oh_rec = oh_ops
+                    self._phase_sig = sig = []
+                    cache_snap = self.machine.cache.phase_snapshot()
+                    if self.monitor is not None:
+                        self.monitor.phase_record_begin()
+                        if detector.allow_eps:
+                            mon_snap = self.monitor.phase_snapshot()
+                            oh_base = overhead_by_tid.copy()
                 if traced:
                     iter_t0 = tr.now_ns()
                     tr.begin(
@@ -622,6 +804,14 @@ class ExecutionEngine:
                         memo.gen_store(region_idx, steps, steps_nbytes(steps))
 
                 region_cycles = {t.tid: 0.0 for t in active}
+                # Per-iteration integer deltas (folded into the run
+                # totals below; integer adds are associative, so this
+                # restructure is bit-identical — and it is exactly what
+                # the phase detector records for extrapolation).
+                it_instructions = it_accesses = it_chunks = 0
+                it_dram = it_remote = 0
+                it_requests = np.zeros_like(domain_requests)
+                it_traffic = np.zeros_like(domain_traffic)
                 if steps is not None:
                     for s_idx, step in enumerate(steps):
                         rec = memo.record(region_idx, s_idx)
@@ -635,13 +825,13 @@ class ExecutionEngine:
                             stats = self._execute_step(
                                 step, region_cycles, overhead_by_tid, rec
                             )
-                        total_instructions += stats["instructions"]
-                        total_accesses += stats["accesses"]
-                        total_chunks += len(step)
-                        dram_accesses += stats["dram"]
-                        remote_dram += stats["remote_dram"]
-                        domain_requests += stats["domain_requests"]
-                        domain_traffic += stats["domain_traffic"]
+                        it_instructions += stats["instructions"]
+                        it_accesses += stats["accesses"]
+                        it_chunks += len(step)
+                        it_dram += stats["dram"]
+                        it_remote += stats["remote_dram"]
+                        it_requests += stats["domain_requests"]
+                        it_traffic += stats["domain_traffic"]
                     iters = None
                 while iters:
                     step: list[tuple[SimThread, AccessChunk]] = []
@@ -665,13 +855,13 @@ class ExecutionEngine:
                         stats = self._execute_step(
                             step, region_cycles, overhead_by_tid
                         )
-                    total_instructions += stats["instructions"]
-                    total_accesses += stats["accesses"]
-                    total_chunks += len(step)
-                    dram_accesses += stats["dram"]
-                    remote_dram += stats["remote_dram"]
-                    domain_requests += stats["domain_requests"]
-                    domain_traffic += stats["domain_traffic"]
+                    it_instructions += stats["instructions"]
+                    it_accesses += stats["accesses"]
+                    it_chunks += len(step)
+                    it_dram += stats["dram"]
+                    it_remote += stats["remote_dram"]
+                    it_requests += stats["domain_requests"]
+                    it_traffic += stats["domain_traffic"]
 
                 for t in active:
                     if self.monitor is not None:
@@ -695,8 +885,73 @@ class ExecutionEngine:
                 wall += elapsed
                 region_wall[region.name] = region_wall.get(region.name, 0.0) + elapsed
 
+                total_instructions += it_instructions
+                total_accesses += it_accesses
+                total_chunks += it_chunks
+                dram_accesses += it_dram
+                remote_dram += it_remote
+                domain_requests += it_requests
+                domain_traffic += it_traffic
+
+                if detector is not None:
+                    self._phase_oh_rec = None
+                    self._phase_sig = None
+                    mon_digest = ()
+                    mon_prog = None
+                    mon_delta = None
+                    if self.monitor is not None:
+                        mon_prog = self.monitor.phase_record_end()
+                        mon_digest = self.monitor.phase_digest()
+                        if mon_snap is not None:
+                            mon_delta = self.monitor.phase_delta(mon_snap)
+                    rec_i = IterationRecording(
+                        ints={
+                            "instructions": it_instructions,
+                            "accesses": it_accesses,
+                            "chunks": it_chunks,
+                            "dram": it_dram,
+                            "remote_dram": it_remote,
+                        },
+                        requests=it_requests,
+                        traffic=it_traffic,
+                        region_cycles=region_cycles,
+                        elapsed=elapsed,
+                        oh_ops=oh_ops,
+                        cache_delta=self.machine.cache.phase_delta(cache_snap),
+                        monitor_prog=mon_prog,
+                    )
+                    # The cache's reuse-distance state needs no digest
+                    # entry: an identical trace revisits the same keys
+                    # every iteration, so fetch levels are periodic once
+                    # the memo-key signature repeats (see phase.py); the
+                    # recorded cache delta is compared exactly instead.
+                    engine_digest = (
+                        self.machine.page_table.epoch,
+                        tuple(sig),
+                    )
+                    detector.end_live_iteration(
+                        engine_digest, mon_digest, rec_i,
+                        overhead_by_tid - oh_base
+                        if oh_base is not None else None,
+                        mon_delta,
+                    )
+                    if traced and detector.engine_streak:
+                        tr.count("engine.phase.steady_iterations")
+                iteration += 1
+
             if memo is not None:
                 memo.release_region(region_idx)
+            if self.extrapolate:
+                stats_r = phase_report.region(region.name)
+                stats_r.iterations += region.repeat
+                stats_r.extrapolated_exact += n_exact
+                stats_r.extrapolated_eps += n_eps
+                stats_r.simulated += region.repeat - n_exact - n_eps
+                if detector is not None:
+                    stats_r.breaks += detector.breaks
+                stats_r.epsilon = max(stats_r.epsilon, eps_max)
+                if traced and detector is not None and detector.breaks:
+                    tr.count("engine.phase.breaks", detector.breaks)
 
         result = RunResult(
             program=self.program.name,
@@ -714,6 +969,16 @@ class ExecutionEngine:
             ghz=self.machine.ghz,
             total_chunks=total_chunks,
         )
+        if self.extrapolate:
+            self.phase_report = phase_report.as_dict()
+            if tr.enabled:
+                tr.gauge(
+                    "engine.phase.epsilon", self.phase_report["epsilon"]
+                )
+                tr.gauge(
+                    "engine.phase.coverage_pct",
+                    self.phase_report["coverage_pct"],
+                )
         if self.monitor is not None:
             self.monitor.on_run_end(result)
         return result
@@ -1037,6 +1302,11 @@ class ExecutionEngine:
                     pure.chunk_first[k], pure.chunk_fp[k],
                 )
         ckey = (machine.page_table.epoch, fetch_levels.tobytes())
+        if self._phase_sig is not None:
+            # The iteration's phase signature is the sequence of memo
+            # variant keys it selects (ISSUE: signatures derive from the
+            # IterationMemo keys) — belt and braces over the state digest.
+            self._phase_sig.append(ckey)
         var = rec.variants.get(ckey)
         if var is None:
             memo.miss()
@@ -1515,6 +1785,7 @@ class ExecutionEngine:
         accesses = 0
         base_cpi = self.machine.base_cpi
         mlp = self.machine.mlp
+        oh_rec = self._phase_oh_rec
         for i, (t, chunk) in enumerate(step):
             cycles = (
                 chunk.n_instructions * base_cpi
@@ -1526,6 +1797,10 @@ class ExecutionEngine:
                 cycles += costs[i]
                 oh += costs[i]
             overhead_by_tid[t.tid] += oh
+            if oh_rec is not None and oh != 0.0:
+                # Zero adds are exact no-ops; recording only the nonzero
+                # ones keeps replay cheap and bit-identical.
+                oh_rec.append((t.tid, oh))
             instructions += chunk.n_instructions
             accesses += chunk.n_accesses
             region_cycles[t.tid] += cycles

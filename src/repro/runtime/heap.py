@@ -29,7 +29,10 @@ from repro.units import align_up
 STATIC_BASE = 1 << 32
 HEAP_BASE = 1 << 40
 STACK_BASE = 1 << 44
-STACK_ARENA = 64 * 1024 * 1024  # per-thread stack arena
+# Per-thread stack arena. Purely virtual (the simulator never backs
+# it), so it is sized for the largest supported workload scale —
+# LULESH at --scale 100 puts a ~1.3 GB nodelist on thread 0's stack.
+STACK_ARENA = 16 * 1024 * 1024 * 1024
 
 
 class VariableKind(enum.Enum):

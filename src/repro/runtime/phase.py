@@ -1,0 +1,450 @@
+"""Phase detection and extrapolated profiling (the Pac-Sim direction).
+
+Every region iteration of a memoized run replays the same chunk trace,
+so once the simulation's *behavioral state* stops changing, every
+remaining iteration is a bit-identical replay of the last one. This
+module detects that fixed point live and lets the engine skip the
+remaining iterations, reconstructing their contribution to every
+reported metric by replaying the recorded per-iteration deltas — the
+cost model changes from O(accesses) to O(distinct phases).
+
+Signature definition
+--------------------
+
+The behavioral state before an iteration is digested as:
+
+* the page-table **epoch** (any placement mutation — first touch,
+  unprotect, live migration — bumps it, exactly as the memo layer's
+  ``(epoch, fetch-levels)`` classification keys require);
+* the per-step **memo variant keys** (``(epoch, fetch_levels)``) chosen
+  during the iteration — the phase signature derives from the same
+  :class:`~repro.runtime.memo.IterationMemo` keys that already identify
+  repeated work;
+* the monitor's **selection state** (sampling carries, per-thread
+  jitter RNG states, mechanism-specific extras like MRK's rate budget)
+  via :meth:`SamplingMechanism.state_digest`.
+
+If the digest before iteration *i* equals the digest before iteration
+*i + 1*, iteration *i* mapped the behavioral state onto itself; by
+induction every remaining iteration replays its exact deltas. The
+induction over the cache hierarchy's reuse-distance state does not need
+the (monotonically growing) state in the digest: a memoized region
+replays an identical chunk trace every iteration, so every cache key
+an iteration touches was touched by the previous iteration too, making
+every at-access reuse distance a pure function of the trace — periodic
+from the second iteration onward. What the cache state *does* require
+is an exact **fast-forward** on skip (``CacheHierarchy.phase_advance``):
+a steady iteration advances each CPU's stream position by a constant
+and re-visits its key set at fixed offsets from the stream head, so n
+skipped iterations move stream positions and touched keys' last-visit
+markers by exactly n deltas while untouched keys (whose reuse distances
+grow linearly — they belong to *other* regions) stay put. Subsequent
+regions then observe bit-identical classifications. The recorded
+per-iteration stream advance and touched-key set are part of the
+fixed-point defense comparison. After ``warmup`` consecutive
+fixed-point iterations the engine switches the region into
+extrapolation mode.
+
+Invalidation rules
+------------------
+
+The phase breaks — and the engine falls back to live simulation — the
+moment any of these happens:
+
+* a scheduled :class:`~repro.optim.policies.PolicySchedule` action
+  fires at an iteration boundary (extrapolation also never crosses a
+  scheduled boundary: the skip is clamped to the next one);
+* the page-table epoch bumps inside the window (first touches, traps);
+* the digest changes for any other reason (cache warmup still in
+  progress, sampling carry drift);
+* the region exits (detector state is per-region).
+
+ε semantics
+-----------
+
+With jittered sampling (IBS-style randomized periods) the monitor's RNG
+state advances every iteration, so a *monitored* run usually never
+reaches an exact fixed point even when the engine state has. In that
+case the engine may extrapolate with **declared error**: engine-pure
+quantities (instructions, accesses, DRAM/remote counts, traffic,
+domain requests) still repeat exactly and are extrapolated exactly;
+sampling-dependent quantities (sample counts, latency sums, monitor
+cost cycles, and hence wall time) are extrapolated with the *mean*
+per-iteration delta over the trailing window, and the run summary
+reports ε — the maximum relative half-spread observed across the
+window — for every extrapolated quantity class. ε is an empirical
+spread over the observed window, not a guaranteed bound. Address
+[min, max] ranges are never scaled (they are idempotent under exact
+replay and only reflect simulated iterations under ε).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def freeze_state(value):
+    """Recursively convert RNG/dict state into a hashable tuple form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze_state(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_state(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype.str, value.tobytes())
+    return value
+
+
+#: Engine-pure integer counters extrapolated by exact multiplication.
+INT_FIELDS = ("instructions", "accesses", "chunks", "dram", "remote_dram")
+
+
+@dataclass
+class IterationRecording:
+    """One live iteration's effects, in replayable form.
+
+    ``ints``/``requests``/``traffic`` are associative integer deltas
+    (extrapolated by multiplication); ``region_cycles``/``elapsed`` are
+    the iteration's per-tid cycle totals (each iteration folds exactly
+    one float add per tid into ``busy``/``wall``, so n skipped
+    iterations fold n times — bit-identical to running them);
+    ``oh_ops`` is the per-step sequence of nonzero per-thread overhead
+    adds; ``monitor_prog`` is the monitor's recorded accumulation
+    program (see ``NumaProfiler.phase_record_end``).
+    """
+
+    ints: dict
+    requests: np.ndarray
+    traffic: np.ndarray
+    region_cycles: dict
+    elapsed: float
+    oh_ops: list
+    cache_delta: tuple | None = None
+    monitor_prog: object | None = None
+
+    def same_pure_deltas(self, other: "IterationRecording") -> bool:
+        """Exact equality of the engine-pure deltas (defense in depth:
+        a signature collision must never let extrapolation diverge).
+
+        Cycles are deliberately excluded — they embed the monitor's
+        (possibly jittered) sampling cost, whose drift is what ε mode
+        exists for. The engine-pure integers and the cache streaming
+        delta must repeat exactly for *any* extrapolation.
+        """
+        if other is None:
+            return False
+        if (self.cache_delta is None) != (other.cache_delta is None):
+            return False
+        if self.cache_delta is not None:
+            d_pos, touched = self.cache_delta
+            o_pos, o_touched = other.cache_delta
+            if d_pos != o_pos or set(touched) != set(o_touched):
+                return False
+        return (
+            self.ints == other.ints
+            and np.array_equal(self.requests, other.requests)
+            and np.array_equal(self.traffic, other.traffic)
+        )
+
+    def same_cycle_deltas(self, other: "IterationRecording") -> bool:
+        """Bit-exact cycle equality — required for ε = 0 replay."""
+        return (
+            other is not None
+            and self.region_cycles == other.region_cycles
+            and self.elapsed == other.elapsed
+        )
+
+
+@dataclass
+class EpsSample:
+    """One window entry for ε-mode extrapolation."""
+
+    rec: IterationRecording
+    oh_delta: np.ndarray
+    monitor_delta: object | None
+
+
+def mean_cycles(window: list[EpsSample]) -> tuple[dict, float]:
+    """Window-mean per-tid cycles and elapsed, in chronological order.
+
+    Shared by the serial engine and the sharded parent so both compute
+    the identical floats from the identical per-iteration values.
+    """
+    n = len(window)
+    tids = window[0].rec.region_cycles.keys()
+    rc_mean = {}
+    for tid in tids:
+        acc = 0.0
+        for s in window:
+            acc += s.rec.region_cycles[tid]
+        rc_mean[tid] = acc / n
+    acc = 0.0
+    for s in window:
+        acc += s.rec.elapsed
+    return rc_mean, acc / n
+
+
+def relative_spread(values: list[float]) -> float:
+    """Half-spread of ``values`` relative to their mean (0 when flat)."""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return 0.0
+    mean = sum(values) / len(values)
+    scale = abs(mean) if mean else max(abs(hi), abs(lo))
+    return (hi - lo) / (2.0 * scale) if scale else 0.0
+
+
+class PhaseDetector:
+    """Per-region detect → extrapolate → resume state machine.
+
+    Drives on boundary digests: :meth:`end_live_iteration` is called
+    after every live iteration with the engine digest (epoch + cache
+    reuse state + the iteration's memo-key signature), the monitor
+    digest, and the iteration's :class:`IterationRecording`. ``warmup``
+    consecutive fixed-point iterations arm extrapolation; any digest
+    change or :meth:`invalidate` call (schedule boundary) resets the
+    streaks.
+    """
+
+    def __init__(
+        self,
+        region_name: str,
+        *,
+        warmup: int = 2,
+        allow_eps: bool = True,
+        monitor_present: bool = False,
+    ) -> None:
+        self.region_name = region_name
+        self.warmup = max(1, int(warmup))
+        self.allow_eps = bool(allow_eps)
+        self.monitor_present = bool(monitor_present)
+        self._prev_engine = None
+        self._prev_monitor = None
+        self.exact_streak = 0
+        self.engine_streak = 0
+        self.last_rec: IterationRecording | None = None
+        #: Trailing ε window (chronological): kept at ``warmup`` entries.
+        self.window: list[EpsSample] = []
+        self.breaks = 0
+        self.recorded_live = 0
+
+    # -- live-iteration observation ------------------------------------ #
+
+    def invalidate(self, *, count_break: bool = True) -> None:
+        """Phase broken externally (schedule fired at this boundary)."""
+        if count_break and (self.exact_streak or self.engine_streak):
+            self.breaks += 1
+        self._prev_engine = None
+        self._prev_monitor = None
+        self.exact_streak = 0
+        self.engine_streak = 0
+        self.last_rec = None
+        self.window = []
+
+    def end_live_iteration(
+        self,
+        engine_digest,
+        monitor_digest,
+        rec: IterationRecording,
+        oh_delta: np.ndarray,
+        monitor_delta: object | None,
+    ) -> None:
+        """Fold one finished live iteration into the streak state."""
+        self.recorded_live += 1
+        engine_fixed = (
+            self._prev_engine is not None
+            and engine_digest == self._prev_engine
+            # A digest collision would be silent corruption; the exact
+            # integer-delta comparison closes that hole.
+            and rec.same_pure_deltas(self.last_rec)
+        )
+        monitor_fixed = (
+            self._prev_monitor is not None
+            and monitor_digest == self._prev_monitor
+        )
+        if engine_fixed:
+            self.engine_streak += 1
+            if monitor_fixed and rec.same_cycle_deltas(self.last_rec):
+                self.exact_streak += 1
+            else:
+                self.exact_streak = 0
+            if self.allow_eps and monitor_delta is not None:
+                self.window.append(EpsSample(rec, oh_delta, monitor_delta))
+                if len(self.window) > self.warmup:
+                    self.window.pop(0)
+            elif self.allow_eps:
+                self.window = []
+        else:
+            if self.engine_streak or self.exact_streak:
+                self.breaks += 1
+            self.engine_streak = 0
+            self.exact_streak = 0
+            self.window = []
+        self._prev_engine = engine_digest
+        self._prev_monitor = monitor_digest
+        self.last_rec = rec
+
+    # -- readiness ------------------------------------------------------ #
+
+    @property
+    def ready_exact(self) -> bool:
+        return self.exact_streak >= self.warmup and self.last_rec is not None
+
+    @property
+    def ready_eps(self) -> bool:
+        return (
+            self.allow_eps
+            and self.monitor_present
+            and self.engine_streak >= self.warmup
+            and len(self.window) >= self.warmup
+        )
+
+    @property
+    def ready(self) -> bool:
+        return self.ready_exact or self.ready_eps
+
+    def eps_value(self) -> float:
+        """Observed relative half-spread across the window's cycle data."""
+        if len(self.window) < 2:
+            return 0.0
+        eps = relative_spread([s.rec.elapsed for s in self.window])
+        tids = self.window[0].rec.region_cycles.keys()
+        for tid in tids:
+            eps = max(
+                eps,
+                relative_spread(
+                    [s.rec.region_cycles[tid] for s in self.window]
+                ),
+            )
+        return eps
+
+
+@dataclass
+class RegionPhaseStats:
+    """Per-region outcome folded into the engine's phase report."""
+
+    iterations: int = 0
+    simulated: int = 0
+    extrapolated_exact: int = 0
+    extrapolated_eps: int = 0
+    breaks: int = 0
+    epsilon: float = 0.0
+
+    def as_dict(self) -> dict:
+        extrapolated = self.extrapolated_exact + self.extrapolated_eps
+        coverage = (
+            100.0 * extrapolated / self.iterations if self.iterations else 0.0
+        )
+        return {
+            "iterations": self.iterations,
+            "simulated": self.simulated,
+            "extrapolated_exact": self.extrapolated_exact,
+            "extrapolated_eps": self.extrapolated_eps,
+            "breaks": self.breaks,
+            "epsilon": self.epsilon,
+            "coverage_pct": coverage,
+        }
+
+
+@dataclass
+class PhaseReport:
+    """Run-level phase/extrapolation accounting (the ε report).
+
+    Attached to the engine after a run as ``engine.phase_report`` (a
+    plain dict via :meth:`as_dict`); the CLI prints it and bench-perf
+    records ``phase_coverage_pct``/``epsilon`` from it.
+    """
+
+    enabled: bool = False
+    regions: dict = field(default_factory=dict)
+
+    def region(self, name: str) -> RegionPhaseStats:
+        stats = self.regions.get(name)
+        if stats is None:
+            stats = self.regions[name] = RegionPhaseStats()
+        return stats
+
+    def as_dict(self) -> dict:
+        iterations = sum(r.iterations for r in self.regions.values())
+        simulated = sum(r.simulated for r in self.regions.values())
+        exact = sum(r.extrapolated_exact for r in self.regions.values())
+        eps = sum(r.extrapolated_eps for r in self.regions.values())
+        extrapolated = exact + eps
+        return {
+            "enabled": self.enabled,
+            "iterations": iterations,
+            "simulated": simulated,
+            "extrapolated_exact": exact,
+            "extrapolated_eps": eps,
+            "coverage_pct": (
+                100.0 * extrapolated / iterations if iterations else 0.0
+            ),
+            "epsilon": max(
+                (r.epsilon for r in self.regions.values()), default=0.0
+            ),
+            "breaks": sum(r.breaks for r in self.regions.values()),
+            "regions": {
+                name: r.as_dict() for name, r in self.regions.items()
+            },
+        }
+
+
+def validate_phase_report(report: dict) -> list[str]:
+    """Internal-consistency check of a phase report dict.
+
+    Returns a list of problems (empty = valid). Used by the CI
+    extrapolate-smoke job and the parity tests.
+    """
+    problems: list[str] = []
+
+    def check(entry: dict, where: str) -> None:
+        total = entry.get("iterations", 0)
+        sim = entry.get("simulated", 0)
+        exact = entry.get("extrapolated_exact", 0)
+        eps = entry.get("extrapolated_eps", 0)
+        if min(total, sim, exact, eps) < 0:
+            problems.append(f"{where}: negative iteration counts")
+        if sim + exact + eps != total:
+            problems.append(
+                f"{where}: simulated+extrapolated != iterations "
+                f"({sim}+{exact}+{eps} != {total})"
+            )
+        cov = entry.get("coverage_pct", 0.0)
+        expect = 100.0 * (exact + eps) / total if total else 0.0
+        if abs(cov - expect) > 1e-9:
+            problems.append(f"{where}: coverage_pct {cov} != {expect}")
+        e = entry.get("epsilon", 0.0)
+        if not (e >= 0.0) or not np.isfinite(e):
+            problems.append(f"{where}: epsilon {e} not finite/non-negative")
+        if eps == 0 and exact > 0 and e != 0.0 and where != "run":
+            problems.append(
+                f"{where}: exact-only extrapolation must declare epsilon 0"
+            )
+
+    check(report, "run")
+    for name, entry in report.get("regions", {}).items():
+        check(entry, f"region {name!r}")
+    run_eps = report.get("epsilon", 0.0)
+    region_eps = max(
+        (e.get("epsilon", 0.0) for e in report.get("regions", {}).values()),
+        default=0.0,
+    )
+    if abs(run_eps - region_eps) > 1e-12:
+        problems.append(f"run epsilon {run_eps} != max region {region_eps}")
+    return problems
+
+
+def next_schedule_boundary(schedule, region_idx: int, start: int, stop: int) -> int:
+    """First iteration in ``[start, stop)`` with scheduled steps, else ``stop``.
+
+    Extrapolation never crosses a scheduled migration: the skip clamps
+    here, the boundary's actions run live, and the epoch bump they
+    cause resets the detector.
+    """
+    if schedule is None:
+        return stop
+    for j in range(start, stop):
+        if schedule.steps_for(region_idx, j):
+            return j
+    return stop

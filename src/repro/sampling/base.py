@@ -302,6 +302,33 @@ class SamplingMechanism(abc.ABC):
             self._rngs[tid] = rng
         return rng
 
+    def state_digest(self) -> tuple:
+        """Hashable digest of all mutable selection state.
+
+        Covers the per-thread periodic carries and jitter-RNG states
+        plus whatever :meth:`_extra_state_digest` contributes (e.g.
+        MRK's rate budget). Equal digests before two iterations of the
+        same chunk stream mean the mechanism selects bit-identical
+        samples in both — the phase detector's exactness condition.
+        Totals (``total_samples``/``total_events``) are deliberately
+        excluded: they are outputs, not selection state, and are
+        extrapolated separately.
+        """
+        from repro.runtime.phase import freeze_state
+
+        return (
+            tuple(sorted(self._carry.items())),
+            tuple(
+                (tid, freeze_state(rng.bit_generator.state))
+                for tid, rng in sorted(self._rngs.items())
+            ),
+            self._extra_state_digest(),
+        )
+
+    def _extra_state_digest(self):
+        """Subclass hook: extra mutable selection state (default none)."""
+        return None
+
     def _carry_of(self, tid: int) -> int:
         return self._carry.get(tid, 0)
 

@@ -67,6 +67,11 @@ class MRK(SamplingMechanism):
         # across chunk sizes (a tiny chunk must not get a free sample).
         self._budget: dict[int, float] = {}
 
+    def _extra_state_digest(self):
+        # The rate-cap budget evolves per chunk and gates selections,
+        # so it is part of the phase detector's fixed-point condition.
+        return tuple(sorted(self._budget.items()))
+
     def select(
         self,
         tid: int,

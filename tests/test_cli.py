@@ -60,6 +60,21 @@ class TestMain:
         assert rc == 0
         assert "scale 0.05" in capsys.readouterr().out
 
+    def test_extrapolate_flag_prints_phase_summary(self, capsys):
+        rc = main(["sweep", "--threads", "8", "--scale", "0.1",
+                   "--extrapolate"])
+        assert rc == 0
+        assert "phase extrapolation:" in capsys.readouterr().out
+
+    def test_exact_flag_excludes_extrapolate(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--extrapolate", "--exact"])
+
+    def test_exact_run_prints_no_phase_summary(self, capsys):
+        rc = main(["sweep", "--threads", "8", "--scale", "0.1", "--exact"])
+        assert rc == 0
+        assert "phase extrapolation:" not in capsys.readouterr().out
+
 
 class TestErrors:
     def test_unknown_machine_is_one_clean_line(self, capsys):
@@ -69,10 +84,26 @@ class TestErrors:
         assert captured.err.startswith("error: unknown machine preset")
         assert "Traceback" not in captured.err
 
-    def test_nonpositive_scale_rejected(self, capsys):
-        rc = main(["sweep", "--scale", "0"])
+    @pytest.mark.parametrize(
+        "bad", ["0", "-1", "nan", "-inf", "inf", "1e18"]
+    )
+    def test_bad_scale_is_one_clean_line(self, capsys, bad):
+        """Non-positive, NaN, and absurd --scale values die with a
+        one-line usage error (exit 2) instead of a deep traceback from
+        workload setup."""
+        rc = main(["sweep", f"--scale={bad}"])
         assert rc == 2
-        assert "must be positive" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: --scale")
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_bad_extrap_warmup_is_one_clean_line(self, capsys):
+        rc = main(["sweep", "--extrapolate", "--extrap-warmup", "0"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: --extrap-warmup")
+        assert captured.err.count("\n") == 1
 
 
 class TestTelemetryFlags:

@@ -8,6 +8,7 @@ from repro.machine.pagetable import PlacementPolicy
 from repro.runtime.callstack import SourceLoc
 from repro.runtime.heap import (
     HEAP_BASE,
+    STACK_ARENA,
     STACK_BASE,
     STATIC_BASE,
     HeapAllocator,
@@ -73,12 +74,12 @@ class TestStackAlloc:
         b = heap.stack_alloc(4096, "s3", tid=3)
         assert a.kind is VariableKind.STACK
         assert a.base >= STACK_BASE
-        assert b.base - STACK_BASE >= 3 * 64 * 1024 * 1024
+        assert b.base - STACK_BASE >= 3 * STACK_ARENA
         assert a.owner_tid == 0 and b.owner_tid == 3
 
     def test_arena_exhaustion(self, heap):
         with pytest.raises(AllocationError):
-            heap.stack_alloc(65 * 1024 * 1024, "huge", tid=0)
+            heap.stack_alloc(STACK_ARENA + 4096, "huge", tid=0)
 
     def test_stack_placement_policy(self, heap):
         v = heap.stack_alloc(
