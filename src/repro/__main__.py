@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import time
 
 from repro import (
     ExecutionEngine,
@@ -183,6 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the telemetry stream as JSONL")
     parser.add_argument("--stats", action="store_true",
                         help="print the span/counter summary table")
+    parser.add_argument("--metrics", action="store_true",
+                        help="record the metrics plane: per-iteration "
+                        "time-series snapshots of counters, gauges, and "
+                        "engine rates (implies telemetry; view with "
+                        "'repro runs timeline')")
+    parser.add_argument("--runs-dir", metavar="DIR", default=None,
+                        help="run-registry root to archive this run in "
+                        "(default: $REPRO_RUNS_DIR or ./runs)")
+    parser.add_argument("--no-save", action="store_true",
+                        help="do not archive this run in the run registry")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="diagnostic logging (-v info, -vv debug)")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -201,6 +212,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.optim.autotune import main as autotune_main
 
         return autotune_main(argv[1:])
+    if argv and argv[0] == "runs":
+        from repro.registry.cli import main as runs_main
+
+        return runs_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs.configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
@@ -252,11 +267,14 @@ def _run(args: argparse.Namespace) -> int:
     kwargs = {"max_rate": 2e6} if mech_name == "MRK" else {}
     mechanism = create_mechanism(mech_name, period, **kwargs)
 
-    tracing = bool(args.trace) or bool(args.trace_jsonl) or args.stats
+    tracing = (
+        bool(args.trace) or bool(args.trace_jsonl) or args.stats
+        or args.metrics
+    )
     if tracing:
         obs.enable()
-        log.info("telemetry enabled (trace=%s stats=%s)",
-                 args.trace or args.trace_jsonl, args.stats)
+        log.info("telemetry enabled (trace=%s stats=%s metrics=%s)",
+                 args.trace or args.trace_jsonl, args.stats, args.metrics)
     tr = obs.TRACER
 
     scale_txt = f", scale {args.scale:g}" if args.scale != 1.0 else ""
@@ -279,6 +297,12 @@ def _run(args: argparse.Namespace) -> int:
             machine_factory(), build(), threads, binding=binding,
             memoize=memoize, **extrap_kwargs,
         ).run()
+    if args.metrics:
+        # The metrics plane rides the tracer and covers the monitored
+        # run only (installed after the baseline so its iterations do
+        # not pollute the series). Samples are host-time-only
+        # observations, so simulated results stay bit-identical.
+        tr.metrics = obs.MetricsRecorder()
     if args.workers > 1:
         from repro.parallel import ParallelEngine
 
@@ -291,8 +315,10 @@ def _run(args: argparse.Namespace) -> int:
             ),
             memoize=memoize, **extrap_kwargs,
         )
+        host_t0 = time.perf_counter()
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
+        host_wall_s = time.perf_counter() - host_t0
         archive = engine.archive
     else:
         profiler = NumaProfiler(mechanism, memoize=memoize)
@@ -300,8 +326,10 @@ def _run(args: argparse.Namespace) -> int:
             machine_factory(), build(), threads, monitor=profiler,
             binding=binding, memoize=memoize, **extrap_kwargs,
         )
+        host_t0 = time.perf_counter()
         with tr.span("cli.monitored_run", "harness"):
             monitored = engine.run()
+        host_wall_s = time.perf_counter() - host_t0
         archive = profiler.archive
     if extrapolate:
         _print_phase_summary(getattr(engine, "phase_report", None))
@@ -312,6 +340,13 @@ def _run(args: argparse.Namespace) -> int:
 
     merged = merge_profiles(archive)
     analysis = NumaAnalysis(merged)
+    if not args.no_save:
+        _record_run(
+            args, preset_name=preset_name, threads=threads,
+            mech_name=mech_name, period=period, archive=archive,
+            analysis=analysis, baseline=baseline, monitored=monitored,
+            host_wall_s=host_wall_s, tracer=tr,
+        )
     if args.report:
         from repro.analysis import full_report
 
@@ -349,6 +384,70 @@ def _run(args: argparse.Namespace) -> int:
     return rc
 
 
+def _record_run(
+    args: argparse.Namespace, *, preset_name: str, threads: int,
+    mech_name: str, period: int, archive, analysis, baseline, monitored,
+    host_wall_s: float, tracer,
+) -> None:
+    """Archive the run in the registry (manifest + profile + series)."""
+    from repro.registry import RunRegistry, build_manifest
+
+    headline = {
+        "lpi_numa": analysis.program_lpi(),
+        "remote_fraction": analysis.program_remote_fraction(),
+        "chunks": monitored.total_chunks,
+        "accesses": monitored.total_accesses,
+    }
+    metrics = getattr(tracer, "metrics", None)
+    if args.metrics and metrics is not None and metrics.n_samples:
+        last = metrics.last_values()
+        for key, name in (
+            ("engine.memo.hit_rate", "memo_hit_rate"),
+            ("engine.phase.coverage_pct", "phase_coverage_pct"),
+            ("engine.rate.chunks_per_s", "chunks_per_s"),
+        ):
+            if key in last:
+                headline[name] = last[key]
+    manifest = build_manifest(
+        kind="profile",
+        workload=args.workload,
+        machine=preset_name,
+        config={
+            "mechanism": mech_name,
+            "period": period,
+            "scale": args.scale,
+            "threads": threads,
+            "workers": args.workers,
+            "binding": args.binding,
+            "seed": 0,
+        },
+        flags={
+            "memoize": not args.no_memo,
+            "extrapolate": bool(args.extrapolate),
+            "metrics": bool(args.metrics),
+            "optimize": bool(args.optimize),
+            "report": bool(args.report),
+        },
+        host_wall_s=host_wall_s,
+        headline=headline,
+        simulated={
+            "wall_cycles": monitored.wall_cycles,
+            "wall_seconds": monitored.wall_seconds,
+            "baseline_wall_seconds": baseline.wall_seconds,
+            "overhead_pct": 100.0
+            * (monitored.wall_seconds / baseline.wall_seconds - 1.0),
+        },
+    )
+    registry = RunRegistry(args.runs_dir)
+    series = (
+        metrics.export()
+        if args.metrics and metrics is not None
+        else None
+    )
+    run_id = registry.record(manifest, archive=archive, series=series)
+    print(f"run recorded: {run_id} -> {registry.root / run_id}\n")
+
+
 def _export_telemetry(args: argparse.Namespace, tracing: bool) -> None:
     """Flush the run's telemetry to the requested sinks."""
     if not tracing:
@@ -379,11 +478,18 @@ def _advise_and_optimize(
 
     if args.optimize and advice.worth_optimizing:
         tuning = apply_advice(advice, machine_factory().n_domains)
-        with obs.TRACER.span("cli.optimized_run", "harness"):
-            optimized = ExecutionEngine(
-                machine_factory(), build(tuning), threads, binding=binding,
-                memoize=not args.no_memo,
-            ).run()
+        # Detach the metrics plane for the re-run: the recorded series
+        # (and the --stats snapshot) describe the monitored run only.
+        mx_saved = getattr(obs.TRACER, "metrics", None)
+        obs.TRACER.metrics = None
+        try:
+            with obs.TRACER.span("cli.optimized_run", "harness"):
+                optimized = ExecutionEngine(
+                    machine_factory(), build(tuning), threads,
+                    binding=binding, memoize=not args.no_memo,
+                ).run()
+        finally:
+            obs.TRACER.metrics = mx_saved
         gain = baseline.wall_seconds / optimized.wall_seconds - 1
         print(f"\napplied: {tuning.describe()}")
         print(f"optimized run: {optimized.wall_seconds * 1e3:.2f} ms "

@@ -215,6 +215,64 @@ def load_archive(path: str | Path) -> ProfileArchive:
 
 
 # ---------------------------------------------------------------------- #
+# metrics-plane time series
+# ---------------------------------------------------------------------- #
+
+#: Serialized time-series format tag (mirrors
+#: ``repro.obs.timeseries.SERIES_FORMAT``; kept in sync by tests).
+SERIES_FORMAT = "repro-series/v1"
+
+
+def _sanitize_series(values: list) -> list:
+    """NaN -> None, so the document is strict JSON (``json.dumps``
+    would otherwise emit the non-standard ``NaN`` literal)."""
+    return [
+        None if isinstance(v, float) and v != v else v for v in values
+    ]
+
+
+def save_series(state: dict, path: str | Path) -> Path:
+    """Write a ``MetricsRecorder.export()`` snapshot as strict JSON.
+
+    NaN cells (rows recorded before a series appeared) become ``null``;
+    :func:`load_series` restores them to NaN so a loaded snapshot can be
+    re-absorbed by a recorder.
+    """
+    if state.get("format") != SERIES_FORMAT:
+        raise ValueError(
+            f"unsupported series format {state.get('format')!r}"
+        )
+    doc = dict(state)
+    doc["series"] = {
+        name: _sanitize_series(values)
+        for name, values in state["series"].items()
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return path
+
+
+def load_series(path: str | Path) -> dict:
+    """Read a series document written by :func:`save_series`.
+
+    ``null`` cells come back as NaN, matching the recorder's export.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("format") != SERIES_FORMAT:
+        raise ValueError(
+            f"unsupported series format {doc.get('format')!r}"
+        )
+    doc["series"] = {
+        name: [float("nan") if v is None else v for v in values]
+        for name, values in doc["series"].items()
+    }
+    return doc
+
+
+# ---------------------------------------------------------------------- #
 # heatmap export
 # ---------------------------------------------------------------------- #
 

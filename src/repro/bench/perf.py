@@ -75,6 +75,10 @@ SMOKE_THRESHOLD = 0.5
 #: (fraction of a small engine-only run's wall time, in percent).
 NOOP_OVERHEAD_LIMIT_PCT = 5.0
 
+#: Maximum estimated cost of the *enabled* metrics plane tolerated by
+#: ``--check`` (percent of the monitored run's wall time).
+METRICS_OVERHEAD_LIMIT_PCT = 2.0
+
 #: Baseline keys that must match the requested run configuration —
 #: comparing throughputs across different presets/sizes is meaningless.
 CONFIG_KEYS = ("preset", "threads", "mechanism", "period", "scale")
@@ -170,12 +174,16 @@ def run_perf(
     scale: float = 1.0,
     workloads: dict | None = None,
     phase_breakdown: bool = False,
+    metrics: bool = False,
 ) -> dict:
     """Measure all workloads; return the ``bench-perf/v1`` document.
 
     With ``phase_breakdown`` each workload gets one extra monitored run
     under an enabled tracer, and per-phase (span category) self-times are
-    recorded alongside the throughput numbers.
+    recorded alongside the throughput numbers. With ``metrics`` each
+    workload gets one extra monitored run with the metrics plane
+    recording, and its estimated overhead is recorded (gated by
+    ``--check`` against :data:`METRICS_OVERHEAD_LIMIT_PCT`).
     """
     machine_factory = presets.PRESETS[preset]
     workloads = workloads or default_workloads(scale)
@@ -259,6 +267,11 @@ def run_perf(
             entry["phase_breakdown"] = _traced_breakdown(
                 machine_factory, factory, threads, mechanism, period
             )
+        if metrics:
+            entry["metrics"] = measure_metrics_overhead(
+                machine_factory, factory, threads, mechanism, period,
+                mon_wall_s=mon_s,
+            )
         doc["workloads"][name] = entry
         phase_iters += report.get("iterations", 0)
         phase_skipped += (
@@ -315,6 +328,19 @@ def run_perf(
             "by_category": agg,
             "total_self_s": sum(agg.values()),
             "coverage": sum(agg.values()) / pb_wall if pb_wall else 0.0,
+        }
+    if metrics:
+        entries = [e["metrics"] for e in doc["workloads"].values()]
+        est_s = sum(e["estimated_overhead_s"] for e in entries)
+        mon_wall = tot["monitored"]["wall_s"]
+        tot["metrics"] = {
+            "wall_s": sum(e["wall_s"] for e in entries),
+            "n_samples": sum(e["n_samples"] for e in entries),
+            "estimated_overhead_s": est_s,
+            "estimated_overhead_pct": (
+                100.0 * est_s / mon_wall if mon_wall else 0.0
+            ),
+            "limit_pct": METRICS_OVERHEAD_LIMIT_PCT,
         }
     doc["totals"] = tot
     return doc
@@ -375,6 +401,65 @@ def measure_noop_overhead(
         "per_site_s": per_site_s,
         "estimated_overhead_s": estimated_s,
         "overhead_pct": 100.0 * estimated_s / wall_s if wall_s else 0.0,
+    }
+
+
+def measure_metrics_overhead(
+    machine_factory, factory, threads, mechanism, period,
+    *,
+    mon_wall_s: float,
+    bench_loops: int = 2000,
+) -> dict:
+    """Estimate what the enabled metrics plane costs a monitored run.
+
+    One extra monitored run under a private enabled tracer with a
+    :class:`~repro.obs.timeseries.MetricsRecorder` attached yields the
+    run's real sample count; the per-sample cost (snapshotting counters,
+    gauges, and engine values into the ring, deriving rates) is
+    microbenchmarked against that tracer's real counter/gauge
+    population. The gate compares the constructive product
+    ``n_samples x per_sample_s`` against the plain monitored wall — the
+    measured wall delta is recorded too, but only as information: at
+    smoke scales on shared CI hosts it is dominated by noise.
+    """
+    tracer = obs.Tracer()
+    old = obs.set_tracer(tracer)
+    try:
+        tracer.enable()
+        tracer.metrics = obs.MetricsRecorder()
+        wall_s, _, _ = _timed_run(
+            machine_factory, factory, threads,
+            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        )
+        n_samples = tracer.metrics.n_total
+        bench = obs.MetricsRecorder()
+        values = {
+            "engine.chunks": 0.0,
+            "engine.accesses": 0.0,
+            "engine.instructions": 0.0,
+        }
+        t0 = time.perf_counter()
+        for i in range(bench_loops):
+            values["engine.chunks"] = float(i)
+            bench.sample(
+                tracer, flags=obs.FLAG_ITERATION, region="bench",
+                iteration=i, values=values,
+            )
+        per_sample_s = (time.perf_counter() - t0) / bench_loops
+    finally:
+        obs.set_tracer(old)
+    estimated_s = n_samples * per_sample_s
+    return {
+        "wall_s": wall_s,
+        "n_samples": int(n_samples),
+        "per_sample_s": per_sample_s,
+        "estimated_overhead_s": estimated_s,
+        "estimated_overhead_pct": (
+            100.0 * estimated_s / mon_wall_s if mon_wall_s else 0.0
+        ),
+        "measured_delta_pct": (
+            (wall_s / mon_wall_s - 1.0) * 100.0 if mon_wall_s else 0.0
+        ),
     }
 
 
@@ -590,9 +675,42 @@ def compare(current: dict, baseline: dict, threshold: float) -> dict:
         "threshold": threshold,
         "speedups": speedups,
         "regressions": regressions,
-        "missing": missing,
+        "missing": sorted(set(missing)),
         "ok": not regressions,
     }
+
+
+def missing_warnings(missing: list[str]) -> list[str]:
+    """Collapse missing-baseline-key warnings for printing.
+
+    A baseline that predates a metric lacks the same
+    ``workloads/<name>/<suffix>`` key for every workload; warn once per
+    suffix (naming the workload count) instead of once per workload.
+    Non-workload keys (``totals/...``) pass through one line each.
+    """
+    by_suffix: dict[str, list[str]] = {}
+    lines: list[str] = []
+    for key in sorted(set(missing)):
+        parts = key.split("/")
+        if parts[0] == "workloads" and len(parts) > 2:
+            by_suffix.setdefault("/".join(parts[2:]), []).append(parts[1])
+        else:
+            lines.append(
+                f"  warning: baseline lacks {key}; comparison skipped"
+            )
+    for suffix in sorted(by_suffix):
+        names = sorted(by_suffix[suffix])
+        if len(names) == 1:
+            lines.append(
+                f"  warning: baseline lacks workloads/{names[0]}/{suffix}; "
+                "comparison skipped"
+            )
+        else:
+            lines.append(
+                f"  warning: baseline lacks {suffix} ({len(names)} "
+                f"workloads: {', '.join(names)}); comparison skipped"
+            )
+    return lines
 
 
 def render(doc: dict) -> str:
@@ -760,6 +878,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--phase-breakdown", action="store_true",
                         help="add one traced monitored run per workload and "
                         "record per-phase self-times in the output JSON")
+    parser.add_argument("--metrics", action="store_true",
+                        help="add one metrics-plane monitored run per "
+                        "workload and record the estimated sampling "
+                        "overhead (always on with --check, gated at "
+                        f"{METRICS_OVERHEAD_LIMIT_PCT:.0f}%% of the "
+                        "monitored wall)")
     parser.add_argument("--autotune", action="store_true",
                         help="also run the closed autotune loop on "
                         f"{list(AUTOTUNE_WORKLOADS)} and record baseline "
@@ -822,6 +946,7 @@ def main(argv: list[str] | None = None) -> int:
         period=args.period,
         scale=args.scale,
         phase_breakdown=args.phase_breakdown,
+        metrics=args.metrics or args.check,
     )
     if args.workers_sweep:
         doc["workers_sweep"] = run_workers_sweep(
@@ -839,11 +964,16 @@ def main(argv: list[str] | None = None) -> int:
             period=args.period,
             scale=args.scale,
         )
-    noop_ok = True
+    noop_ok = metrics_ok = True
     if args.check:
         noop = measure_noop_overhead()
         doc["noop_overhead"] = dict(noop, limit_pct=NOOP_OVERHEAD_LIMIT_PCT)
         noop_ok = noop["overhead_pct"] < NOOP_OVERHEAD_LIMIT_PCT
+        mt = doc["totals"].get("metrics")
+        if mt is not None:
+            metrics_ok = (
+                mt["estimated_overhead_pct"] < METRICS_OVERHEAD_LIMIT_PCT
+            )
     if baseline is not None:
         doc["comparison"] = dict(
             compare(doc, baseline, args.threshold), baseline=baseline_path
@@ -867,10 +997,18 @@ def main(argv: list[str] | None = None) -> int:
               f"(limit {NOOP_OVERHEAD_LIMIT_PCT:.0f}%: {verdict})")
         if not noop_ok:
             print("  REGRESSION: disabled tracer hooks cost too much")
+    mt = doc["totals"].get("metrics")
+    if mt is not None:
+        verdict = "ok" if metrics_ok else "TOO HIGH"
+        print(f"\nmetrics-plane estimate: {mt['n_samples']:,} samples -> "
+              f"{mt['estimated_overhead_pct']:.2f}% of the monitored wall "
+              f"(limit {METRICS_OVERHEAD_LIMIT_PCT:.0f}%: {verdict})")
+        if not metrics_ok:
+            print("  REGRESSION: metrics-plane sampling costs too much")
     comparison = doc.get("comparison")
     if comparison is None:
         print(f"\nno baseline found — recorded {out} as the new reference")
-        return 0 if noop_ok else 1
+        return 0 if noop_ok and metrics_ok else 1
 
     def fmt_ratio(r: float | None) -> str:
         return f"{r:.2f}x" if r is not None else "n/a"
@@ -880,11 +1018,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"\nvs baseline {comparison['baseline']}: engine-only "
           f"{fmt_ratio(eng)}, monitored {fmt_ratio(mon)} (threshold "
           f"{comparison['threshold']:.0%} drop)")
-    for key in comparison.get("missing", []):
-        print(f"  warning: baseline lacks {key}; comparison skipped")
+    for line in missing_warnings(comparison.get("missing", [])):
+        print(line)
     for reg in comparison["regressions"]:
         print(f"  REGRESSION: {reg}")
-    return 0 if comparison["ok"] and noop_ok else 1
+    return 0 if comparison["ok"] and noop_ok and metrics_ok else 1
 
 
 if __name__ == "__main__":

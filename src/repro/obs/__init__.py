@@ -45,13 +45,37 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.log import configure_logging, get_logger, logger
-from repro.obs.tracer import NOOP_SPAN, CountingTracer, Tracer
+from repro.obs.timeseries import (
+    FLAG_EPOCH,
+    FLAG_EXTRAPOLATED,
+    FLAG_FINAL,
+    FLAG_ITERATION,
+    FLAG_PHASE_BREAK,
+    FLAG_SCHEDULE,
+    MetricsRecorder,
+)
+from repro.obs.tracer import (
+    DEFAULT_GAUGE_MERGE,
+    GAUGE_MERGE,
+    NOOP_SPAN,
+    CountingTracer,
+    Tracer,
+)
 
 __all__ = [
     "TRACER",
     "Tracer",
     "CountingTracer",
     "NOOP_SPAN",
+    "GAUGE_MERGE",
+    "DEFAULT_GAUGE_MERGE",
+    "MetricsRecorder",
+    "FLAG_ITERATION",
+    "FLAG_SCHEDULE",
+    "FLAG_EPOCH",
+    "FLAG_PHASE_BREAK",
+    "FLAG_EXTRAPOLATED",
+    "FLAG_FINAL",
     "enable",
     "disable",
     "get_tracer",

@@ -171,6 +171,23 @@ def summary_table(tracer: Tracer) -> str:
         lines.append("telemetry summary — gauges")
         for name, value in sorted(tracer.gauges.items()):
             lines.append(f"  {name:<46} {value:>14,.0f}")
+    metrics = getattr(tracer, "metrics", None)
+    if metrics is not None and metrics.n_samples:
+        last = metrics.last_values()
+        lines.append("")
+        lines.append(
+            f"telemetry summary — metrics plane "
+            f"({metrics.n_samples} samples, {metrics.dropped} dropped)"
+        )
+        for label, key, fmt in (
+            ("memo hit-rate", "engine.memo.hit_rate", "{:>14.1%}"),
+            ("phase coverage %", "engine.phase.coverage_pct", "{:>14.1f}"),
+            ("chunks/s", "engine.rate.chunks_per_s", "{:>14,.0f}"),
+        ):
+            if key in last:
+                lines.append(
+                    f"  {label:<46} " + fmt.format(last[key])
+                )
     return "\n".join(lines)
 
 

@@ -26,7 +26,34 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["Tracer", "CountingTracer", "NOOP_SPAN"]
+__all__ = [
+    "Tracer",
+    "CountingTracer",
+    "NOOP_SPAN",
+    "GAUGE_MERGE",
+    "DEFAULT_GAUGE_MERGE",
+]
+
+#: Per-gauge merge policy applied by :meth:`Tracer.absorb` when stitching
+#: worker snapshots: ``"sum"`` for gauges that are per-process resource
+#: sizes (each shard holds its own slice), ``"max"`` for run-level
+#: properties where any shard's value bounds the run, ``"last"`` to keep
+#: the absorbed snapshot's value (explicit opt-in to overwrite).
+GAUGE_MERGE: dict[str, str] = {
+    "engine.memo.bytes": "sum",
+    "profiler.code_rows": "sum",
+    "profiler.data_rows": "sum",
+    "profiler.var_rows": "sum",
+    "profiler.bin_rows": "sum",
+    "profiler.range_blocks": "sum",
+    "engine.phase.epsilon": "max",
+    "engine.phase.coverage_pct": "max",
+}
+
+#: Gauges without an explicit annotation merge with ``max`` — unlike the
+#: old last-write-wins behaviour, the result cannot depend on the order
+#: worker snapshots are absorbed in.
+DEFAULT_GAUGE_MERGE = "max"
 
 
 class _NoopSpan:
@@ -91,6 +118,10 @@ class Tracer:
         self.calls: dict[tuple[str, str], int] = {}
         #: Open-span stack: [name, cat, t0_ns, child_ns] entries.
         self._stack: list[list] = []
+        #: Optional attached metrics-plane recorder
+        #: (:class:`repro.obs.timeseries.MetricsRecorder`); ``None`` when
+        #: the metrics plane is off. Travels with :meth:`export_state`.
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -118,6 +149,7 @@ class Tracer:
         self.calls.clear()
         self._stack.clear()
         self._epoch_ns = 0
+        self.metrics = None
 
     def now_ns(self) -> int:
         """Monotonic nanoseconds since this tracer's epoch."""
@@ -142,6 +174,9 @@ class Tracer:
             "total_ns": dict(self.total_ns),
             "calls": dict(self.calls),
             "epoch_ns": self._epoch_ns,
+            "metrics": (
+                self.metrics.export() if self.metrics is not None else None
+            ),
         }
 
     def absorb(self, state: dict, track_label: str) -> None:
@@ -153,7 +188,10 @@ class Tracer:
         the foreign ``"harness"`` track move to ``track_label`` (e.g.
         ``"w0"``); numeric simulated-thread tracks keep their ids, which
         are globally unique because shards own disjoint thread sets.
-        Counters and span aggregates sum; gauges last-write-wins.
+        Counters and span aggregates sum; gauges merge per the
+        :data:`GAUGE_MERGE` policy (``max`` unless annotated otherwise),
+        so the merged value never depends on absorb order. An attached
+        metrics recorder absorbs the snapshot's time series, if any.
         """
         shift = state["epoch_ns"] - self._epoch_ns
         for ph, name, cat, track, ts_ns, args in state["events"]:
@@ -162,11 +200,24 @@ class Tracer:
             self.events.append((ph, name, cat, track, ts_ns + shift, args))
         for key, value in state["counters"].items():
             self.counters[key] = self.counters.get(key, 0) + value
-        self.gauges.update(state["gauges"])
+        for key, value in state["gauges"].items():
+            if key not in self.gauges:
+                self.gauges[key] = value
+                continue
+            policy = GAUGE_MERGE.get(key, DEFAULT_GAUGE_MERGE)
+            if policy == "sum":
+                self.gauges[key] += value
+            elif policy == "last":
+                self.gauges[key] = value
+            else:  # "max"
+                self.gauges[key] = max(self.gauges[key], value)
         for src_name in ("self_ns", "total_ns", "calls"):
             dst = getattr(self, src_name)
             for key, value in state[src_name].items():
                 dst[key] = dst.get(key, 0) + value
+        series = state.get("metrics")
+        if series is not None and self.metrics is not None:
+            self.metrics.absorb(series, track_label, shift)
 
     # ------------------------------------------------------------------ #
     # spans

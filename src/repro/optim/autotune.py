@@ -33,6 +33,7 @@ the :class:`AutotuneReport` is bit-identical at any worker count.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -77,6 +78,9 @@ class AutotuneConfig:
     memoize: bool = True
     #: Where to write the report JSON and heatmap CSVs (None: no files).
     out_dir: str | Path | None = None
+    #: Run-registry root to record the loop's runs in (None: no
+    #: registration). The CLI sets this by default; see ``--no-save``.
+    runs_dir: str | Path | None = None
 
     def make_mechanism(self):
         return create_mechanism(
@@ -113,6 +117,9 @@ class AutotuneReport:
     diff_text: str
     heatmap_files: list[str] = field(default_factory=list)
     report_file: str | None = None
+    #: Run-registry ids recorded for this loop (baseline/tuned/autotune),
+    #: empty when registration is disabled.
+    run_ids: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -126,6 +133,8 @@ class AutotuneReport:
         ]
         if not self.planned:
             lines.append("  plan: nothing to migrate — baseline kept")
+            if self.run_ids:
+                lines.append(self._registry_line())
             return "\n".join(lines)
         lines.append(
             f"  plan ({len(self.planned)} step(s) @ region "
@@ -161,7 +170,13 @@ class AutotuneReport:
             lines.append(f"  heatmap: {f}")
         if self.report_file:
             lines.append(f"  report: {self.report_file}")
+        if self.run_ids:
+            lines.append(self._registry_line())
         return "\n".join(lines)
+
+    def _registry_line(self) -> str:
+        ids = " ".join(f"{k}={v}" for k, v in sorted(self.run_ids.items()))
+        return f"  registry: {ids}"
 
 
 # ---------------------------------------------------------------------- #
@@ -262,8 +277,10 @@ def autotune(cfg: AutotuneConfig) -> AutotuneReport:
     tr = obs.TRACER
     log = obs.get_logger("optim")
 
+    host_t0 = time.perf_counter()
     with tr.span("autotune.profile_window", "optim"):
         base_result, base_archive, _, threads = _profiled_run(cfg, None)
+    base_wall_s = time.perf_counter() - host_t0
     merged_base = merge_profiles(base_archive)
     analysis = NumaAnalysis(merged_base)
 
@@ -288,13 +305,20 @@ def autotune(cfg: AutotuneConfig) -> AutotuneReport:
             diff_profiles(merged_base, merged_base),
         )
         _write_artifacts(cfg, report, base_archive, base_archive)
+        _register_runs(
+            cfg, report, base_archive, base_archive,
+            merged_base, merged_base, base_result, base_result,
+            base_wall_s, 0.0,
+        )
         return report
 
     schedule = build_schedule(steps, boundary)
     log.info("schedule: %s", schedule.describe())
 
+    host_t0 = time.perf_counter()
     with tr.span("autotune.reverify", "optim"):
         tuned_result, tuned_archive, applied, _ = _profiled_run(cfg, schedule)
+    tuned_wall_s = time.perf_counter() - host_t0
     merged_tuned = merge_profiles(tuned_archive)
 
     with tr.span("autotune.diff", "optim"):
@@ -305,6 +329,11 @@ def autotune(cfg: AutotuneConfig) -> AutotuneReport:
         base_result, tuned_result, diff,
     )
     _write_artifacts(cfg, report, base_archive, tuned_archive)
+    _register_runs(
+        cfg, report, base_archive, tuned_archive,
+        merged_base, merged_tuned, base_result, tuned_result,
+        base_wall_s, tuned_wall_s,
+    )
     return report
 
 
@@ -339,6 +368,94 @@ def _report_from(
         ),
         diff_text=diff.render(),
     )
+
+
+def _register_runs(
+    cfg, report, base_archive, tuned_archive,
+    merged_base, merged_tuned, base_result, tuned_result,
+    base_wall_s: float, tuned_wall_s: float,
+) -> None:
+    """Record the loop's runs in the run registry.
+
+    Three entries: the baseline profile, the tuned profile (same as the
+    baseline when no migration was planned), and a ``kind="autotune"``
+    report manifest referencing both via ``refs.baseline``/``refs.tuned``
+    — so ``repro runs diff <baseline> <tuned>`` reproduces the loop's
+    headline deltas postmortem.
+    """
+    if cfg.runs_dir is None:
+        return
+    from repro.registry import RunRegistry, build_manifest
+
+    registry = RunRegistry(cfg.runs_dir)
+    machine = getattr(cfg.machine_factory, "__name__", "custom")
+    config = {
+        "mechanism": cfg.mechanism_name,
+        "period": cfg.period,
+        "threads": cfg.n_threads,
+        "workers": cfg.n_workers,
+        "binding": cfg.binding.name.lower(),
+        "seed": cfg.seed,
+        "window_iterations": cfg.window_iterations,
+    }
+    flags = {"memoize": cfg.memoize}
+
+    def _profile_manifest(merged, result, wall_s, role):
+        analysis = NumaAnalysis(merged)
+        return build_manifest(
+            kind="profile",
+            workload=merged.program,
+            machine=machine,
+            config={**config, "autotune_role": role},
+            flags=flags,
+            host_wall_s=wall_s,
+            headline={
+                "lpi_numa": analysis.program_lpi(),
+                "remote_fraction": analysis.program_remote_fraction(),
+                "chunks": result.total_chunks,
+                "accesses": result.total_accesses,
+            },
+            simulated={
+                "wall_cycles": result.wall_cycles,
+                "wall_seconds": result.wall_seconds,
+            },
+        )
+
+    base_id = registry.record(
+        _profile_manifest(merged_base, base_result, base_wall_s, "baseline"),
+        archive=base_archive,
+    )
+    if tuned_archive is base_archive:
+        tuned_id = base_id
+    else:
+        tuned_id = registry.record(
+            _profile_manifest(
+                merged_tuned, tuned_result, tuned_wall_s, "tuned"
+            ),
+            archive=tuned_archive,
+        )
+    auto_id = registry.record(
+        build_manifest(
+            kind="autotune",
+            workload=merged_base.program,
+            machine=machine,
+            config=config,
+            flags=flags,
+            host_wall_s=base_wall_s + tuned_wall_s,
+            headline={
+                "lpi_before": report.lpi_before,
+                "lpi_after": report.lpi_after,
+                "remote_before": report.remote_before,
+                "remote_after": report.remote_after,
+                "improved": report.improved,
+                "migrations_planned": len(report.planned),
+            },
+            refs={"baseline": base_id, "tuned": tuned_id},
+        )
+    )
+    report.run_ids = {
+        "baseline": base_id, "tuned": tuned_id, "autotune": auto_id,
+    }
 
 
 def _write_artifacts(cfg, report, base_archive, tuned_archive) -> None:
@@ -399,6 +516,11 @@ def build_parser():
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="write autotune_report.json and heatmap CSVs "
                         "under DIR")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="run-registry root for the loop's runs "
+                        "(default: $REPRO_RUNS_DIR or ./runs)")
+    parser.add_argument("--no-save", action="store_true",
+                        help="do not record the runs in the run registry")
     parser.add_argument("--json", action="store_true",
                         help="print the report as JSON instead of text")
     parser.add_argument("-v", "--verbose", action="count", default=0)
@@ -443,6 +565,12 @@ def main(argv: list[str] | None = None) -> int:
             memoize=not args.no_memo,
             out_dir=args.out,
         )
+        if not args.no_save:
+            from repro.registry import RunRegistry
+
+            # Resolve --runs-dir / $REPRO_RUNS_DIR / ./runs here so the
+            # config carries a concrete root (None = no registration).
+            cfg.runs_dir = RunRegistry(args.runs_dir).root
         report = autotune(cfg)
     except NumaProfError as exc:
         print(f"error: {exc}", file=sys.stderr)

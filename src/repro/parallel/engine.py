@@ -243,6 +243,13 @@ class ParallelEngine:
             )
         phase_ok = self.extrapolate and all(s["phase_ok"] for s in started)
 
+        # Parent-side metrics plane: the parent's tracer counters live in
+        # the workers, so merged cumulative totals are passed explicitly
+        # (same keys as the serial engine's samples, same derivations).
+        tr_mx = obs.TRACER
+        mx = getattr(tr_mx, "metrics", None) if tr_mx.enabled else None
+        skipped_total = 0
+
         n_domains = machine.n_domains
         busy = np.zeros(len(threads), dtype=np.float64)
         total_instructions = 0
@@ -257,6 +264,25 @@ class ParallelEngine:
         batch_limit = ExecutionEngine.BATCH_MEAN_ACCESSES
 
         phase_report = PhaseReport(enabled=self.extrapolate)
+
+        def _mx_values() -> dict:
+            values = {
+                "engine.chunks": float(total_chunks),
+                "engine.accesses": float(total_accesses),
+                "engine.instructions": float(total_instructions),
+            }
+            if dram_accesses:
+                values["engine.remote_fraction"] = remote_dram / dram_accesses
+            for d in range(n_domains):
+                values[f"engine.domain.requests.{d}"] = float(
+                    domain_requests[d]
+                )
+            if skipped_total:
+                values["engine.phase.extrapolated_iterations"] = float(
+                    skipped_total
+                )
+            return values
+
         for r_idx, region in enumerate(regions):
             active = (
                 threads
@@ -329,6 +355,15 @@ class ParallelEngine:
                         domain_requests += last.requests * n_skip
                         domain_traffic += last.traffic * n_skip
                         iteration = stop
+                        if mx is not None:
+                            skipped_total += n_skip
+                            mx.sample(
+                                tr_mx,
+                                flags=obs.FLAG_EXTRAPOLATED,
+                                region=region.name,
+                                iteration=iteration - 1,
+                                values=_mx_values(),
+                            )
                         continue
                 gen = self._round(executor, "gen_iteration", r_idx, iteration)
                 n_steps = max((g["n_chunks"].size for g in gen), default=0)
@@ -403,6 +438,7 @@ class ParallelEngine:
                     region_wall.get(region.name, 0.0) + elapsed
                 )
 
+                breaks_prev = breaks_max
                 if phase_ok:
                     infos = [f["phase"] for f in fin]
                     all_ready = all(
@@ -429,6 +465,23 @@ class ParallelEngine:
                         oh_delta=None,
                         monitor_delta=None,
                     ))
+                if mx is not None:
+                    flags = obs.FLAG_ITERATION
+                    if self.schedule is not None and self.schedule.steps_for(
+                        r_idx, iteration
+                    ):
+                        # Workers applied these steps (and bumped their
+                        # page-table epochs) at the top of this iteration.
+                        flags |= obs.FLAG_SCHEDULE | obs.FLAG_EPOCH
+                    if breaks_max > breaks_prev:
+                        flags |= obs.FLAG_PHASE_BREAK
+                    mx.sample(
+                        tr_mx,
+                        flags=flags,
+                        region=region.name,
+                        iteration=iteration,
+                        values=_mx_values(),
+                    )
                 iteration += 1
 
             if self.extrapolate:
@@ -484,5 +537,9 @@ class ParallelEngine:
                 state = payload.get("telemetry")
                 if state is not None:
                     tr.absorb(state, f"w{shard}")
+        if mx is not None:
+            # After the absorb, so merged worker counters/gauges (memo
+            # hits, sampling volume, phase gauges) land in the final row.
+            mx.sample(tr_mx, flags=obs.FLAG_FINAL, values=_mx_values())
 
         return result

@@ -92,6 +92,19 @@ class ShardEngine(ExecutionEngine):
         self._iter_cache_snap = None
         self._iter_mon_snap = None
         self._iter_oh_base = None
+        # Metrics-plane bookkeeping (this shard's slice only): cumulative
+        # totals fed to the worker recorder's samples, plus per-iteration
+        # flag state captured in gen_iteration and read in
+        # finish_iteration.
+        self._mx_chunks = 0
+        self._mx_accesses = 0
+        self._mx_instructions = 0
+        self._mx_dram = 0
+        self._mx_remote = 0
+        self._mx_skipped = 0
+        self._iter_fired = False
+        self._iter_epoch0 = 0
+        self._iter_breaks0 = 0
 
     def owns(self, tid: int) -> bool:
         """Whether this shard executes (and attributes) thread ``tid``."""
@@ -137,6 +150,7 @@ class ShardEngine(ExecutionEngine):
         region = self._regions[region_idx]
         memo = self.memo
         use_memo = memo is not None and region.repeat > 1 and region.memoize
+        self._iter_epoch0 = self.machine.page_table.epoch
         fired = False
         if self.schedule is not None:
             # Every shard applies the identical scheduled migrations on
@@ -161,6 +175,8 @@ class ShardEngine(ExecutionEngine):
             self._shard_detector = detector
         else:
             detector = self._shard_detector
+        self._iter_fired = fired
+        self._iter_breaks0 = detector.breaks if detector is not None else 0
         if detector is not None:
             if fired:
                 detector.invalidate()
@@ -411,6 +427,31 @@ class ShardEngine(ExecutionEngine):
             self._iter_mon_snap = None
             self._iter_oh_base = None
             self._iter_requests = None
+        tr = obs.TRACER
+        mx = getattr(tr, "metrics", None) if tr.enabled else None
+        if mx is not None:
+            self._mx_instructions += instructions
+            self._mx_accesses += accesses
+            self._mx_chunks += chunks
+            self._mx_dram += dram
+            self._mx_remote += remote_dram
+            flags = obs.FLAG_ITERATION
+            if self._iter_fired:
+                flags |= obs.FLAG_SCHEDULE
+            if self.machine.page_table.epoch != self._iter_epoch0:
+                flags |= obs.FLAG_EPOCH
+            if (
+                detector is not None
+                and detector.breaks != self._iter_breaks0
+            ):
+                flags |= obs.FLAG_PHASE_BREAK
+            mx.sample(
+                tr,
+                flags=flags,
+                region=region.name,
+                iteration=iteration,
+                values=self._shard_mx_values(),
+            )
         self._iter_steps = None
         self._iter_states = None
         self._iter_owned = None
@@ -453,7 +494,40 @@ class ShardEngine(ExecutionEngine):
             self.machine.cache.phase_advance(rec.cache_delta, n_skip)
         if release and self.memo is not None:
             self.memo.release_region(region_idx)
+        tr = obs.TRACER
+        mx = getattr(tr, "metrics", None) if tr.enabled else None
+        if mx is not None:
+            self._mx_instructions += rec.ints["instructions"] * n_skip
+            self._mx_accesses += rec.ints["accesses"] * n_skip
+            self._mx_chunks += rec.ints["chunks"] * n_skip
+            self._mx_dram += rec.ints["dram"] * n_skip
+            self._mx_remote += rec.ints["remote_dram"] * n_skip
+            self._mx_skipped += n_skip
+            mx.sample(
+                tr,
+                flags=obs.FLAG_EXTRAPOLATED,
+                region=self._regions[region_idx].name,
+                iteration=-1,
+                values=self._shard_mx_values(),
+            )
         return {"eps": eps}
+
+    def _shard_mx_values(self) -> dict:
+        """This shard's cumulative totals for its recorder's samples."""
+        values = {
+            "engine.chunks": float(self._mx_chunks),
+            "engine.accesses": float(self._mx_accesses),
+            "engine.instructions": float(self._mx_instructions),
+        }
+        if self._mx_dram:
+            values["engine.remote_fraction"] = (
+                self._mx_remote / self._mx_dram
+            )
+        if self._mx_skipped:
+            values["engine.phase.extrapolated_iterations"] = float(
+                self._mx_skipped
+            )
+        return values
 
     def finish_run(self) -> dict:
         """Final round: flush the monitor and ship this shard's results.
@@ -514,10 +588,14 @@ def _init_worker(claim_queue, barrier, spec) -> None:
     shard = claim_queue.get()
     tr = obs.TRACER
     if tr.enabled:
-        # The forked tracer carries the parent's events; restart it so
-        # this process records only its own, on its own epoch (shifted
-        # back onto the parent timeline at stitch time).
+        # The forked tracer carries the parent's events (and metrics
+        # recorder); restart it so this process records only its own, on
+        # its own epoch (shifted back onto the parent timeline at stitch
+        # time). Capture the recorder capacity before the clear drops it.
+        capacity = tr.metrics.capacity if tr.metrics is not None else None
         tr.enable(clear=True)
+        if capacity is not None:
+            tr.metrics = obs.MetricsRecorder(capacity=capacity)
     (
         machine_factory, program_factory, n_threads, binding,
         monitor_factory, params, seed, n_shards, memoize, memo_bytes,

@@ -1,0 +1,307 @@
+"""Run-registry storage: content-addressed run directories + manifests.
+
+A manifest is one strict-JSON document describing a run's provenance
+(workload, machine preset, mechanism, scale, policy, seed, workers,
+flags, git describe), its costs (host wall seconds, simulated wall
+cycles), and its headline metrics (program lpi, remote fraction, memo
+hit-rate, phase coverage, chunks/s). The profile archive and the
+metrics-plane series ride alongside as separate artifacts so ``runs
+list`` stays cheap — it reads only manifests.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import os
+import subprocess
+from pathlib import Path
+
+from repro.analysis.io import load_archive, save_archive, save_series
+from repro.analysis.io import load_series as _load_series_doc
+from repro.errors import NumaProfError
+
+MANIFEST_FORMAT = "repro-run/v1"
+
+#: Hex digits of the SHA-256 content hash used as the run id.
+ID_LENGTH = 12
+
+#: Environment variable overriding the default registry root.
+ROOT_ENV = "REPRO_RUNS_DIR"
+
+#: Manifest keys every valid document must carry (see
+#: :func:`validate_manifest` for the per-key type checks).
+REQUIRED_KEYS = (
+    "format",
+    "id",
+    "created",
+    "kind",
+    "workload",
+    "machine",
+    "config",
+    "flags",
+    "host_wall_s",
+    "headline",
+    "artifacts",
+)
+
+KINDS = ("profile", "autotune")
+
+
+class RegistryError(NumaProfError):
+    """Raised for malformed registries, unknown or ambiguous run ids."""
+
+
+def git_describe(cwd: str | Path | None = None) -> str | None:
+    """Best-effort ``git describe --always --dirty`` of the source tree.
+
+    Returns ``None`` outside a work tree or without a git binary — the
+    registry must work from an installed package too.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd or Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def content_id(manifest: dict) -> str:
+    """Content hash of a manifest, minus its identity/timestamp fields."""
+    doc = {
+        k: v for k, v in manifest.items() if k not in ("id", "created")
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:ID_LENGTH]
+
+
+def build_manifest(
+    *,
+    kind: str = "profile",
+    workload: str,
+    machine: str,
+    config: dict,
+    flags: dict,
+    host_wall_s: float,
+    headline: dict,
+    simulated: dict | None = None,
+    refs: dict | None = None,
+) -> dict:
+    """Assemble an (unaddressed) manifest; ``record()`` fills id/created.
+
+    ``config`` carries the reproducible run parameters (mechanism,
+    period, scale, threads, workers, binding, policy, seed); ``flags``
+    the boolean toggles (memoize, extrapolate, metrics); ``headline``
+    the end-of-run metrics; ``refs`` other run ids this one references
+    (autotune reports point at their baseline/tuned runs).
+    """
+    if kind not in KINDS:
+        raise RegistryError(f"unknown run kind {kind!r}; expected {KINDS}")
+    return {
+        "format": MANIFEST_FORMAT,
+        "id": None,
+        "created": None,
+        "kind": kind,
+        "workload": workload,
+        "machine": machine,
+        "config": dict(config),
+        "flags": dict(flags),
+        "git": git_describe(),
+        "host_wall_s": float(host_wall_s),
+        "simulated": dict(simulated) if simulated else {},
+        "headline": dict(headline),
+        "refs": dict(refs) if refs else {},
+        "artifacts": {},
+    }
+
+
+def validate_manifest(doc: dict) -> list[str]:
+    """Schema-check one manifest document; returns a problem list.
+
+    Checked by ``scripts/validate_manifest.py`` in CI and by
+    ``RunRegistry`` before trusting a directory.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["manifest is not an object"]
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if doc["format"] != MANIFEST_FORMAT:
+        problems.append(
+            f"format is {doc['format']!r}, expected {MANIFEST_FORMAT!r}"
+        )
+    if doc["kind"] not in KINDS:
+        problems.append(f"kind {doc['kind']!r} not in {KINDS}")
+    rid = doc["id"]
+    if (
+        not isinstance(rid, str)
+        or len(rid) != ID_LENGTH
+        or any(c not in "0123456789abcdef" for c in rid)
+    ):
+        problems.append(f"id {rid!r} is not {ID_LENGTH} lowercase hex digits")
+    elif content_id(doc) != rid:
+        problems.append(
+            f"id {rid} does not match manifest content hash {content_id(doc)}"
+        )
+    if not isinstance(doc["created"], str) or not doc["created"]:
+        problems.append("created must be a non-empty ISO-8601 string")
+    for key in ("config", "flags", "headline", "artifacts"):
+        if not isinstance(doc[key], dict):
+            problems.append(f"{key} must be an object")
+    if not isinstance(doc["host_wall_s"], (int, float)):
+        problems.append("host_wall_s must be a number")
+    if doc["kind"] == "autotune":
+        refs = doc.get("refs", {})
+        for ref in ("baseline", "tuned"):
+            if ref not in refs:
+                problems.append(f"autotune manifest missing refs.{ref}")
+    return problems
+
+
+class RunRegistry:
+    """Reads and writes a directory of content-addressed runs."""
+
+    MANIFEST = "manifest.json"
+    PROFILE = "profile.json"
+    SERIES = "series.json"
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get(ROOT_ENV, "runs")
+        self.root = Path(root)
+
+    # -------------------------------------------------------------- #
+    # writing
+    # -------------------------------------------------------------- #
+
+    def record(
+        self,
+        manifest: dict,
+        *,
+        archive=None,
+        series: dict | None = None,
+        extra_files: dict[str, str | Path] | None = None,
+    ) -> str:
+        """Write one run directory; returns the assigned run id.
+
+        ``archive`` is a ``ProfileArchive`` (saved via ``save_archive``),
+        ``series`` a ``MetricsRecorder.export()`` snapshot (saved via
+        ``save_series``). ``extra_files`` maps artifact names to existing
+        files that are copied into the run directory (e.g. a trace).
+        The artifact names land in ``manifest["artifacts"]`` before the
+        content id is computed, so the id covers what was stored.
+        """
+        manifest = dict(manifest)
+        artifacts = dict(manifest.get("artifacts") or {})
+        if archive is not None:
+            artifacts["profile"] = self.PROFILE
+        if series is not None:
+            artifacts["series"] = self.SERIES
+        for name, src in (extra_files or {}).items():
+            artifacts[name] = Path(src).name
+        manifest["artifacts"] = artifacts
+
+        run_id = content_id(manifest)
+        manifest["id"] = run_id
+        manifest["created"] = (
+            datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds")
+            .replace("+00:00", "Z")
+        )
+        run_dir = self.root / run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        if archive is not None:
+            save_archive(archive, run_dir / self.PROFILE)
+        if series is not None:
+            save_series(series, run_dir / self.SERIES)
+        for _name, src in (extra_files or {}).items():
+            src = Path(src)
+            (run_dir / src.name).write_bytes(src.read_bytes())
+        with open(run_dir / self.MANIFEST, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        return run_id
+
+    # -------------------------------------------------------------- #
+    # reading
+    # -------------------------------------------------------------- #
+
+    def list_runs(self) -> list[dict]:
+        """All manifests, oldest first (by created, then id)."""
+        out = []
+        if not self.root.is_dir():
+            return out
+        for entry in sorted(self.root.iterdir()):
+            mpath = entry / self.MANIFEST
+            if not mpath.is_file():
+                continue
+            try:
+                with open(mpath) as fh:
+                    out.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RegistryError(f"unreadable manifest {mpath}: {exc}")
+        out.sort(key=lambda m: (m.get("created") or "", m.get("id") or ""))
+        return out
+
+    def resolve(self, id_or_prefix: str) -> str:
+        """Resolve a (possibly abbreviated) run id to the full id."""
+        if not self.root.is_dir():
+            raise RegistryError(f"no run registry at {self.root}")
+        matches = [
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.name.startswith(id_or_prefix)
+            and (entry / self.MANIFEST).is_file()
+        ]
+        if not matches:
+            raise RegistryError(
+                f"no run matching {id_or_prefix!r} in {self.root}"
+            )
+        if len(matches) > 1:
+            raise RegistryError(
+                f"ambiguous run id {id_or_prefix!r}: {sorted(matches)}"
+            )
+        return matches[0]
+
+    def manifest(self, id_or_prefix: str) -> dict:
+        """Load one run's manifest (validated)."""
+        run_id = self.resolve(id_or_prefix)
+        with open(self.root / run_id / self.MANIFEST) as fh:
+            doc = json.load(fh)
+        problems = validate_manifest(doc)
+        if problems:
+            raise RegistryError(
+                f"invalid manifest for run {run_id}: {problems}"
+            )
+        return doc
+
+    def load_profile(self, id_or_prefix: str):
+        """Load one run's ``ProfileArchive``."""
+        doc = self.manifest(id_or_prefix)
+        rel = doc["artifacts"].get("profile")
+        if rel is None:
+            raise RegistryError(
+                f"run {doc['id']} has no profile artifact"
+            )
+        return load_archive(self.root / doc["id"] / rel)
+
+    def load_series(self, id_or_prefix: str) -> dict:
+        """Load one run's metrics-plane series document."""
+        doc = self.manifest(id_or_prefix)
+        rel = doc["artifacts"].get("series")
+        if rel is None:
+            raise RegistryError(
+                f"run {doc['id']} has no series artifact "
+                "(was it recorded with --metrics?)"
+            )
+        return _load_series_doc(self.root / doc["id"] / rel)

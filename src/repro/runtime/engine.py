@@ -692,6 +692,12 @@ class ExecutionEngine:
             self.program.setup(self.ctx)
             regions = self.program.regions(self.ctx)
 
+        # Metrics plane: a recorder attached to an enabled tracer gets a
+        # snapshot at every region-iteration boundary. Sampling is a
+        # read-only observer on host time — simulated results are
+        # bit-identical with it on or off (tests/test_metrics_parity.py).
+        mx = getattr(tr, "metrics", None) if tr.enabled else None
+
         busy = np.zeros(len(self.threads), dtype=np.float64)
         # Overhead accumulates per thread and reduces once at the end:
         # each tid's partial sum involves only that thread's own chunks
@@ -710,6 +716,24 @@ class ExecutionEngine:
             (self.machine.n_domains, self.machine.n_domains), dtype=np.int64
         )
         phase_report = PhaseReport(enabled=self.extrapolate)
+
+        def _mx_values() -> dict:
+            # Cumulative engine totals snapshotted into the metrics plane.
+            # Passed explicitly (not read from tracer counters) so the
+            # sharded parent — whose counters live in the workers — can
+            # feed the same keys and share the rate-derivation path.
+            values = {
+                "engine.chunks": float(total_chunks),
+                "engine.accesses": float(total_accesses),
+                "engine.instructions": float(total_instructions),
+            }
+            if dram_accesses:
+                values["engine.remote_fraction"] = remote_dram / dram_accesses
+            for d in range(self.machine.n_domains):
+                values[f"engine.domain.requests.{d}"] = float(
+                    domain_requests[d]
+                )
+            return values
 
         for region_idx, region in enumerate(regions):
             active = (
@@ -738,6 +762,10 @@ class ExecutionEngine:
             eps_max = 0.0
             iteration = 0
             while iteration < region.repeat:
+                fired = False
+                if mx is not None:
+                    epoch0 = self.machine.page_table.epoch
+                    breaks0 = detector.breaks if detector is not None else 0
                 if self.schedule is not None:
                     fired = self._apply_schedule(region_idx, region, iteration)
                     if fired and detector is not None:
@@ -764,6 +792,14 @@ class ExecutionEngine:
                             n_eps += n_skip
                             eps_max = max(eps_max, eps)
                         iteration = stop
+                        if mx is not None:
+                            mx.sample(
+                                tr,
+                                flags=obs.FLAG_EXTRAPOLATED,
+                                region=region.name,
+                                iteration=iteration - 1,
+                                values=_mx_values(),
+                            )
                         continue
                 traced = tr.enabled
                 oh_ops: list = []
@@ -937,6 +973,21 @@ class ExecutionEngine:
                     )
                     if traced and detector.engine_streak:
                         tr.count("engine.phase.steady_iterations")
+                if mx is not None:
+                    flags = obs.FLAG_ITERATION
+                    if fired:
+                        flags |= obs.FLAG_SCHEDULE
+                    if self.machine.page_table.epoch != epoch0:
+                        flags |= obs.FLAG_EPOCH
+                    if detector is not None and detector.breaks != breaks0:
+                        flags |= obs.FLAG_PHASE_BREAK
+                    mx.sample(
+                        tr,
+                        flags=flags,
+                        region=region.name,
+                        iteration=iteration,
+                        values=_mx_values(),
+                    )
                 iteration += 1
 
             if memo is not None:
@@ -981,6 +1032,10 @@ class ExecutionEngine:
                 )
         if self.monitor is not None:
             self.monitor.on_run_end(result)
+        if mx is not None:
+            # Final snapshot after run-end gauges (phase report, profiler
+            # row tables) are set, so the last row carries them all.
+            mx.sample(tr, flags=obs.FLAG_FINAL, values=_mx_values())
         return result
 
     # ------------------------------------------------------------------ #

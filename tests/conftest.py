@@ -14,6 +14,13 @@ from repro.runtime.program import Region, RegionKind
 from repro.sampling import IBS
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    """Keep CLI-invoking tests from writing ``runs/`` into the work tree:
+    the run registry's default root resolves through ``REPRO_RUNS_DIR``."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture
 def small_machine() -> Machine:
     """4 domains x 2 cores, small frame pool — fast unit-test machine."""

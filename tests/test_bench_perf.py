@@ -80,6 +80,52 @@ class TestCompare:
         assert res["ok"]
         assert res["speedups"]["workloads"]["w"]["engine_only"] is None
 
+    def test_missing_keys_are_deduped_and_sorted(self):
+        baseline = fake_doc({"a": 100.0, "b": 100.0})
+        for entry in baseline["workloads"].values():
+            del entry["monitored"]
+        del baseline["totals"]["monitored"]
+        res = perf.compare(
+            fake_doc({"a": 95.0, "b": 95.0}), baseline, threshold=0.2
+        )
+        assert res["missing"] == sorted(set(res["missing"]))
+
+
+class TestMissingWarnings:
+    def test_groups_same_suffix_across_workloads(self):
+        lines = perf.missing_warnings([
+            "workloads/a/monitored/chunks_per_s",
+            "workloads/b/monitored/chunks_per_s",
+            "totals/monitored/chunks_per_s",
+        ])
+        assert len(lines) == 2
+        # totals/* keys pass through individually (tests and humans
+        # grep for the full path)...
+        assert any(
+            "baseline lacks totals/monitored/chunks_per_s" in ln
+            for ln in lines
+        )
+        # ...while per-workload keys collapse to one line per suffix.
+        grouped = next(ln for ln in lines if "2 workloads" in ln)
+        assert "monitored/chunks_per_s" in grouped
+        assert "a, b" in grouped
+
+    def test_single_workload_keeps_full_path(self):
+        lines = perf.missing_warnings(["workloads/w/monitored/chunks_per_s"])
+        assert lines == [
+            "  warning: baseline lacks workloads/w/monitored/chunks_per_s; "
+            "comparison skipped"
+        ]
+
+    def test_duplicates_collapse(self):
+        key = "workloads/w/monitored/chunks_per_s"
+        assert perf.missing_warnings([key, key]) == perf.missing_warnings(
+            [key]
+        )
+
+    def test_empty_missing_is_silent(self):
+        assert perf.missing_warnings([]) == []
+
 
 class TestRunPerf:
     def test_document_shape(self):
@@ -98,6 +144,22 @@ class TestRunPerf:
         assert doc["totals"]["engine_only"]["chunks"] == entry["engine_only"][
             "chunks"
         ]
+
+    def test_metrics_overhead_measured_per_workload(self):
+        doc = perf.run_perf(
+            preset="magny_cours",
+            threads=8,
+            workloads={"toy": lambda: ToyProgram(8_000, steps=2)},
+            metrics=True,
+        )
+        mt = doc["workloads"]["toy"]["metrics"]
+        assert mt["n_samples"] > 0
+        assert mt["per_sample_s"] > 0
+        assert mt["estimated_overhead_s"] > 0
+        tot = doc["totals"]["metrics"]
+        assert tot["n_samples"] == mt["n_samples"]
+        assert tot["limit_pct"] == perf.METRICS_OVERHEAD_LIMIT_PCT
+        assert tot["estimated_overhead_pct"] >= 0
 
     def test_render_mentions_every_workload(self):
         doc = perf.run_perf(

@@ -190,6 +190,62 @@ class TestValidator:
         assert any("unreadable" in p for p in validate_chrome_trace(bad))
 
 
+class TestGaugeMerge:
+    """``Tracer.absorb`` gauge semantics: per-gauge merge policies, not
+    last-write-wins (which silently depended on shard arrival order)."""
+
+    def _state(self, gauges: dict) -> dict:
+        tr = Tracer()
+        tr.enable()
+        for key, value in gauges.items():
+            tr.gauge(key, value)
+        return tr.export_state()
+
+    def test_sum_policy_for_sharded_row_counts(self, tracer):
+        assert obs.GAUGE_MERGE["profiler.code_rows"] == "sum"
+        tracer.gauge("profiler.code_rows", 10)
+        tracer.absorb(self._state({"profiler.code_rows": 7}), "w0")
+        assert tracer.gauges["profiler.code_rows"] == 17
+
+    def test_max_policy_for_epsilon(self, tracer):
+        assert obs.GAUGE_MERGE["engine.phase.epsilon"] == "max"
+        tracer.gauge("engine.phase.epsilon", 0.5)
+        tracer.absorb(self._state({"engine.phase.epsilon": 0.2}), "w0")
+        assert tracer.gauges["engine.phase.epsilon"] == 0.5
+        tracer.absorb(self._state({"engine.phase.epsilon": 0.9}), "w1")
+        assert tracer.gauges["engine.phase.epsilon"] == 0.9
+
+    def test_unknown_gauges_default_to_max(self, tracer):
+        assert obs.DEFAULT_GAUGE_MERGE == "max"
+        tracer.gauge("custom.gauge", 5)
+        tracer.absorb(self._state({"custom.gauge": 3}), "w0")
+        assert tracer.gauges["custom.gauge"] == 5
+
+    def test_absorb_order_independent(self):
+        """Regression: with last-write-wins the merged value depended on
+        shard arrival order; max/sum policies are commutative."""
+        states = [
+            self._state({"engine.phase.epsilon": e, "profiler.var_rows": r})
+            for e, r in ((0.1, 3), (0.7, 5), (0.4, 2))
+        ]
+
+        def merge(order):
+            tr = Tracer()
+            tr.enable()
+            for i in order:
+                tr.absorb(states[i], f"w{i}")
+            return dict(tr.gauges)
+
+        assert merge([0, 1, 2]) == merge([2, 1, 0]) == merge([1, 0, 2])
+        assert merge([0, 1, 2]) == {
+            "engine.phase.epsilon": 0.7, "profiler.var_rows": 10,
+        }
+
+    def test_absent_key_copies_value(self, tracer):
+        tracer.absorb(self._state({"profiler.bin_rows": 4}), "w0")
+        assert tracer.gauges["profiler.bin_rows"] == 4
+
+
 class TestJsonl:
     def test_round_trips_events_counters_gauges(self, tracer, tmp_path):
         with tracer.span("s", "engine", note=1):
@@ -202,6 +258,42 @@ class TestJsonl:
         assert types == ["event", "event", "counter", "gauge"]
         assert recs[0]["args"] == {"note": 1}
         assert recs[2] == {"type": "counter", "name": "c", "value": 2}
+
+    def test_every_line_parses_and_sections_are_ordered(self, tracer, tmp_path):
+        with tracer.span("outer", "engine"):
+            with tracer.span("inner", "sampling"):
+                pass
+        tracer.count("c1", 1)
+        tracer.count("c2", 2)
+        tracer.gauge("g1", 3)
+        tracer.gauge("g2", 4)
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [r["type"] for r in recs]
+        # The stream contract: all events, then counters, then gauges.
+        first_counter = types.index("counter")
+        first_gauge = types.index("gauge")
+        assert all(t == "event" for t in types[:first_counter])
+        assert all(t == "counter" for t in types[first_counter:first_gauge])
+        assert all(t == "gauge" for t in types[first_gauge:])
+
+    def test_absorbed_tracer_exports_valid_jsonl(self, tracer, tmp_path):
+        worker = Tracer()
+        worker.enable()
+        with worker.span("shard.round", "shard"):
+            pass
+        worker.count("engine.chunks", 9)
+        worker.gauge("profiler.code_rows", 2)
+        with tracer.span("parent.round", "harness"):
+            pass
+        tracer.absorb(worker.export_state(), "w0")
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        recs = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [r["type"] for r in recs]
+        assert types == ["event"] * 4 + ["counter", "gauge"]
+        # The worker's events landed on the remapped track.
+        tracks = {r.get("track") for r in recs if r["type"] == "event"}
+        assert "w0" in tracks
 
 
 class TestSummaryTable:
