@@ -384,6 +384,11 @@ class CacheHierarchy:
         optionally supplies pooled buffers for the step-sized
         intermediates (line numbers, deltas, cumulative sums); the
         returned arrays are always owned allocations.
+
+        ``addrs`` is never written: it may be a read-only zero-copy view
+        of a columnar step trace (possibly a shared-memory segment —
+        see :mod:`repro.runtime.arena`); every intermediate lands in the
+        scratch pool or a fresh allocation.
         """
         starts = np.asarray(starts, dtype=np.int64)
         lengths = np.diff(starts)
@@ -461,7 +466,9 @@ class CacheHierarchy:
             fetch=fetch,
             sequential=sequential,
             footprints=footprints,
-            first_addrs=addrs[starts[:-1]].copy(),
+            # Fancy indexing already yields an owned array (no view into
+            # the possibly segment-backed input), so no defensive copy.
+            first_addrs=addrs[starts[:-1]],
         )
 
     def step_fetch_levels(

@@ -41,6 +41,16 @@ from collections import deque
 
 from repro import obs
 from repro.errors import ProgramError
+from repro.runtime.arena import (
+    ArenaReader,
+    ShmArena,
+    decode_payload,
+    encode_payload,
+    force_unlink,
+    run_token,
+    shm_available,
+    worker_segment,
+)
 from repro.runtime.engine import ExecutionEngine, RunResult
 from repro.runtime.heap import HeapAllocator
 from repro.runtime.phase import (
@@ -59,6 +69,76 @@ from repro.parallel.worker import _init_worker, _round_task
 def sharding_supported() -> bool:
     """Whether this platform can run the forked worker pool."""
     return "fork" in mp.get_all_start_methods()
+
+
+def _merge_page_events(shard_events: list[dict]) -> dict:
+    """Merge per-shard page-event columns into serial ``(step, tid)`` order.
+
+    Each shard reports flat columns (see ``ShardEngine.gen_iteration``):
+    ``step``/``tid``/``cpu``/``var`` (int64), per-event page-set lengths
+    ``plen``, the concatenated unique page sets ``pages``, and its local
+    variable-name table ``names``. This concatenates the columns in
+    shard order, remaps variable ids onto one global name table, sorts
+    with a stable lexsort (``(step, tid)`` keys are unique — one chunk
+    per thread per step — so the order is total), and gathers the
+    variable-length page sets into the merged layout. Pure integer
+    array work: the merged order and every page value are exactly what
+    the old sorted tuple list carried.
+    """
+    names: list[str] = []
+    name_id: dict[str, int] = {}
+    cols: dict[str, list[np.ndarray]] = {
+        "step": [], "tid": [], "cpu": [], "var": [], "plen": [], "pages": [],
+    }
+    for ev in shard_events:
+        remap = np.empty(len(ev["names"]), dtype=np.int64)
+        for i, name in enumerate(ev["names"]):
+            gid = name_id.get(name)
+            if gid is None:
+                gid = name_id[name] = len(names)
+                names.append(name)
+            remap[i] = gid
+        cols["step"].append(ev["step"])
+        cols["tid"].append(ev["tid"])
+        cols["cpu"].append(ev["cpu"])
+        cols["var"].append(remap[ev["var"]])
+        cols["plen"].append(ev["plen"])
+        cols["pages"].append(ev["pages"])
+
+    def cat(key: str) -> np.ndarray:
+        arrs = cols[key]
+        return (
+            np.concatenate(arrs) if arrs else np.empty(0, dtype=np.int64)
+        )
+
+    step, tid, cpu, var = cat("step"), cat("tid"), cat("cpu"), cat("var")
+    plen, pages = cat("plen"), cat("pages")
+    n = step.size
+    order = np.lexsort((tid, step))
+    plen_sorted = plen[order]
+    pstart = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(plen_sorted, out=pstart[1:])
+    if pages.size:
+        src_start = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(plen, out=src_start[1:])
+        # Gather each event's page slice into its merged position:
+        # global index = source start (per event, repeated) + offset
+        # within the event (arange minus the merged start, repeated).
+        gather = (
+            np.arange(pstart[-1], dtype=np.int64)
+            - np.repeat(pstart[:-1], plen_sorted)
+            + np.repeat(src_start[:-1][order], plen_sorted)
+        )
+        pages = pages[gather]
+    return {
+        "step": step[order],
+        "tid": tid[order],
+        "cpu": cpu[order],
+        "var": var[order],
+        "pstart": pstart,
+        "pages": pages,
+        "names": names,
+    }
 
 
 class ParallelEngine:
@@ -91,6 +171,7 @@ class ParallelEngine:
         schedule=None,
         extrapolate: bool = False,
         extrap_warmup: int = 2,
+        use_shm: bool | None = None,
     ) -> None:
         if n_workers < 1:
             raise ProgramError(f"n_workers must be >= 1, got {n_workers}")
@@ -125,9 +206,19 @@ class ParallelEngine:
         self.extrapolate = bool(extrapolate) and bool(memoize)
         self.extrap_warmup = max(1, int(extrap_warmup))
         self.phase_report: dict | None = None
+        #: Shared-memory round payloads: ``None`` probes availability at
+        #: run time, ``False`` forces the pickled-payload fallback
+        #: (``--no-shm``), ``True`` requests shm but still degrades to
+        #: pickling when POSIX shared memory is unavailable.
+        self.use_shm = use_shm
+        #: Whether the last run actually exchanged rounds through the
+        #: arena (False for serial fallback or pickled rounds).
+        self.shm_used = False
         self.archive = None
         self.threads = None
         self._ran = False
+        self._arena: ShmArena | None = None
+        self._reader: ArenaReader | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -206,11 +297,25 @@ class ParallelEngine:
         for k in range(n_workers):
             claim.put(k)
         barrier = mp_ctx.Barrier(n_workers)
+        use_shm = self.use_shm
+        if use_shm is None:
+            use_shm = shm_available()
+        elif use_shm and not shm_available():
+            obs.get_logger("parallel").warning(
+                "POSIX shared memory unavailable; "
+                "falling back to pickled round payloads"
+            )
+            use_shm = False
+        token = run_token() if use_shm else None
+        self.shm_used = bool(use_shm)
+        if use_shm:
+            self._arena = ShmArena(f"{token}-p")
+            self._reader = ArenaReader()
         spec = (
             self.machine_factory, self.program_factory, self.n_threads,
             self.binding, self.monitor_factory, self.params, self.seed,
             n_workers, self.memoize, self.memo_bytes, self.schedule,
-            self.extrapolate, self.extrap_warmup,
+            self.extrapolate, self.extrap_warmup, use_shm, token,
         )
         executor = ProcessPoolExecutor(
             max_workers=n_workers,
@@ -222,15 +327,49 @@ class ParallelEngine:
             result = self._drive(executor, machine, program, threads, regions)
         finally:
             executor.shutdown()
+            if use_shm:
+                # Views into worker segments are dead (workers have
+                # exited and every fold happened inline), so close our
+                # attachments, unlink our own segments, and reap the
+                # workers' by their deterministic names — best-effort on
+                # the abort path, exact on the normal path. No
+                # ``/dev/shm`` entries survive the run either way.
+                self._reader.close()
+                self._reader = None
+                self._arena.destroy()
+                self._arena = None
+                for k in range(n_workers):
+                    force_unlink(worker_segment(token, k))
         return result
 
     def _round(self, executor, method: str, *args) -> list:
-        """Broadcast one round to all workers; results in shard order."""
+        """Broadcast one round to all workers; results in shard order.
+
+        With the arena, large arrays in ``args`` are written to shared
+        memory **once** and every worker receives the same tiny
+        descriptors — the pickled broadcast no longer scales with
+        payload size times worker count. The round pool is rewound
+        first: the previous round's args were only read during that
+        round (all its futures resolved before this call), so the bytes
+        are dead. Worker payloads come back the same way and are
+        materialized as zero-copy views here; every use below folds
+        them into parent-owned arrays before the next round is
+        submitted, which is what makes the workers' own pool rewinds
+        safe.
+        """
+        if self._arena is not None and args:
+            self._arena.reset()
+            args = tuple(encode_payload(a, self._arena) for a in args)
         futures = [
             executor.submit(_round_task, method, args)
             for _ in range(self.n_workers)
         ]
         results = sorted(f.result() for f in futures)
+        if self._reader is not None:
+            return [
+                decode_payload(payload, self._reader)
+                for _shard, payload in results
+            ]
         return [payload for _shard, payload in results]
 
     def _drive(self, executor, machine, program, threads, regions) -> RunResult:
@@ -370,23 +509,18 @@ class ParallelEngine:
                 n_active = np.zeros(n_steps, dtype=np.int64)
                 n_mem = np.zeros(n_steps, dtype=np.int64)
                 acc_sum = np.zeros(n_steps, dtype=np.int64)
-                events: list[tuple] = []
                 for g in gen:
                     k = g["n_chunks"].size
                     n_active[:k] += g["n_chunks"]
                     n_mem[:k] += g["n_mem"]
                     acc_sum[:k] += g["acc_sum"]
-                    events.extend(g["events"])
                 # Serial (step, tid) order: the order the one-process
                 # engine would deliver traps and first touches in.
-                events.sort(key=lambda e: (e[0], e[1]))
+                events = _merge_page_events([g["events"] for g in gen])
                 # The serial engine's global pipeline decision, from
                 # merged integer totals — broadcast so every worker
                 # takes the same float-summation path.
-                batched_flags = [
-                    bool(n_mem[s]) and int(acc_sum[s]) <= batch_limit * int(n_mem[s])
-                    for s in range(n_steps)
-                ]
+                batched_flags = (n_mem > 0) & (acc_sum <= batch_limit * n_mem)
 
                 requests = self._round(
                     executor, "classify_iteration",

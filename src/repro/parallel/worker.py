@@ -39,6 +39,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.runtime.arena import (
+    ArenaReader,
+    ShmArena,
+    decode_payload,
+    encode_payload,
+    worker_segment,
+)
+from repro.runtime.chunks import columnarize_steps, steps_nbytes
 from repro.runtime.engine import ExecutionEngine, _StepMem
 from repro.runtime.phase import IterationRecording, PhaseDetector
 from repro.runtime.program import RegionKind
@@ -74,6 +82,10 @@ class ShardEngine(ExecutionEngine):
         super().__init__(machine, program, n_threads, **kwargs)
         self.shard_id = int(shard_id)
         self.n_shards = int(n_shards)
+        #: Shared-memory arena owned by this worker (outbound round
+        #: payloads + the columnar trace plane); installed by
+        #: :func:`_init_worker`, ``None`` in the pickled-payload fallback.
+        self.arena: ShmArena | None = None
         self._regions = None
         self._overhead_by_tid = np.zeros(len(self.threads), dtype=np.float64)
         self._iter_steps: list | None = None
@@ -82,6 +94,12 @@ class ShardEngine(ExecutionEngine):
         self._iter_region = None
         self._iter_region_idx: int | None = None
         self._iter_use_memo = False
+        #: Source coordinates of this shard's own page events, in event
+        #: order. Broadcast event columns omit IPs entirely — only the
+        #: owning shard attributes a trap, and its own events appear in
+        #: the merged (step, tid) order exactly as generated (one event
+        #: per (step, tid), steps ascending, owned tids ascending).
+        self._iter_event_ips: list = []
         #: Phase detection over this shard's slice. Every worker digests
         #: its own partition of the step stream (epoch + its chunks'
         #: memo keys + its threads' sampling state); the parent arms
@@ -138,10 +156,12 @@ class ShardEngine(ExecutionEngine):
         """Round A: drain this shard's generators for one iteration.
 
         Enters the region for owned threads, pre-draws every lockstep
-        step's chunks, and returns per-step chunk/memory counts plus the
-        shard's page events — ``(step, tid, cpu, var_name, pages, ip)``
-        for each memory chunk whose segment still had protected or
-        unbound pages when generation ran. That counter check is a
+        step's chunks into a columnar :class:`StepTrace`, and returns
+        per-step chunk/memory counts plus the shard's page events as
+        flat columns (step / tid / cpu / var-id / concatenated unique
+        page sets) — one entry for each memory chunk whose segment still
+        had protected or unbound pages when generation ran. That
+        counter check is a
         conservative superset of the serial engine's step-time check
         (the counters only decrease within an iteration); replay applies
         the exact step-time check, so bind/trap decisions match serial
@@ -203,6 +223,10 @@ class ShardEngine(ExecutionEngine):
             self.callstacks[t.tid].push(region.src)
             if self.monitor is not None:
                 self.monitor.on_region_enter(t.tid, region, iteration)
+        if self.arena is not None:
+            # Non-memoized traces live in the per-iteration pool; the
+            # previous iteration is fully finished, so rewind it.
+            self.arena.reset("iter")
         cached = memo.gen_get(region_idx) if use_memo else None
         if cached is not None:
             steps, n_chunks, n_mem, acc_sum = cached
@@ -234,22 +258,50 @@ class ShardEngine(ExecutionEngine):
                         continue
                     n_mem[s] += 1
                     acc_sum[s] += chunk.n_accesses
-            if use_memo:
-                from repro.runtime.chunks import steps_nbytes
+            # Pack the trace's addresses into one flat column — classify
+            # reads step slices in place, and with an arena the whole
+            # trace plane lives in this shard's shared segments
+            # (memoized regions get a region pool unlinked on release;
+            # see IterationMemo.on_release).
+            alloc = None
+            if self.arena is not None:
+                pool = ("gen", region_idx) if use_memo else "iter"
+                arena = self.arena
 
+                def alloc(n, _pool=pool, _arena=arena):
+                    return _arena.alloc_array(n, np.int64, _pool)[0]
+
+            steps = columnarize_steps(steps, alloc)
+            if use_memo:
                 memo.gen_store(
                     region_idx,
                     (steps, n_chunks, n_mem, acc_sum),
                     steps_nbytes(steps)
                     + n_chunks.nbytes + n_mem.nbytes + acc_sum.nbytes,
+                    shared_nbytes=(
+                        steps.addrs_cat.nbytes if self.arena is not None
+                        else 0
+                    ),
                 )
 
         # Page events are *not* cacheable: the protected/unbound counters
         # are live machine state that drains as iterations bind pages, so
         # the candidate check reruns against current counters every time
         # (exactly like the serial engine's memo replay in _page_phase).
+        # Events ship as columns — step/tid/cpu/var-id plus the
+        # concatenated unique-page sets — so the merged broadcast is a
+        # handful of flat arrays (descriptors, with an arena) instead of
+        # a pickled tuple list. IPs stay shard-local (see
+        # ``_iter_event_ips``).
         page_size = self.machine.page_size
-        events: list[tuple] = []
+        ev_step: list[int] = []
+        ev_tid: list[int] = []
+        ev_cpu: list[int] = []
+        ev_var: list[int] = []
+        ev_pages: list[np.ndarray] = []
+        ips: list = []
+        names: list[str] = []
+        name_id: dict[str, int] = {}
         for s, step in enumerate(steps):
             for t, chunk in step:
                 if chunk.var is None or not chunk.n_accesses:
@@ -257,11 +309,35 @@ class ShardEngine(ExecutionEngine):
                 seg = chunk.var.segment
                 if seg.n_protected or seg.n_unbound:
                     pages = fast_unique(chunk.addrs // page_size)
-                    events.append(
-                        (s, t.tid, t.cpu, chunk.var.name, pages, chunk.ip)
-                    )
+                    name = chunk.var.name
+                    vid = name_id.get(name)
+                    if vid is None:
+                        vid = name_id[name] = len(names)
+                        names.append(name)
+                    ev_step.append(s)
+                    ev_tid.append(t.tid)
+                    ev_cpu.append(t.cpu)
+                    ev_var.append(vid)
+                    ev_pages.append(pages)
+                    ips.append(chunk.ip)
+        n_events = len(ev_step)
+        events = {
+            "step": np.array(ev_step, dtype=np.int64),
+            "tid": np.array(ev_tid, dtype=np.int64),
+            "cpu": np.array(ev_cpu, dtype=np.int64),
+            "var": np.array(ev_var, dtype=np.int64),
+            "plen": np.fromiter(
+                (p.size for p in ev_pages), dtype=np.int64, count=n_events
+            ),
+            "pages": (
+                np.concatenate(ev_pages) if ev_pages
+                else np.empty(0, dtype=np.int64)
+            ),
+            "names": names,
+        }
 
         self._iter_steps = steps
+        self._iter_event_ips = ips
         self._iter_owned = owned
         self._iter_region = (region, iteration)
         self._iter_region_idx = region_idx
@@ -274,18 +350,22 @@ class ShardEngine(ExecutionEngine):
         }
 
     def classify_iteration(
-        self, events: list[tuple], batched_flags, n_steps: int
+        self, events: dict, batched_flags, n_steps: int
     ) -> np.ndarray:
         """Round B: replay merged page events + classify own chunks.
 
-        ``events`` is every shard's page events merged and sorted into
-        serial ``(step, tid)`` order; ``batched_flags`` is the parent's
-        globally computed pipeline flag per step. For each step the
-        worker first replays that step's page events on its replicated
-        page table (attributing traps only for owned tids), then
-        classifies its own chunks — the same page-state-then-classify
-        ordering the serial step uses. Returns the shard's per-step
-        DRAM request matrix ``(n_steps, n_domains)``.
+        ``events`` is every shard's page-event columns merged and sorted
+        into serial ``(step, tid)`` order (``pstart`` delimits each
+        event's slice of the concatenated ``pages`` column; with the
+        arena the columns are zero-copy views of the parent's
+        segments); ``batched_flags`` is the parent's globally computed
+        pipeline flag per step. For each step the worker first replays
+        that step's page events on its replicated page table
+        (attributing traps only for owned tids, whose source
+        coordinates it kept locally), then classifies its own chunks —
+        the same page-state-then-classify ordering the serial step
+        uses. Returns the shard's per-step DRAM request matrix
+        ``(n_steps, n_domains)``.
         """
         steps = self._iter_steps
         n_domains = self.machine.n_domains
@@ -293,17 +373,33 @@ class ShardEngine(ExecutionEngine):
         states: list[_StepMem] = []
         memo = self.memo if self._iter_use_memo else None
         region_idx = self._iter_region_idx
+        ev_step = events["step"]
+        ev_tid = events["tid"]
+        ev_cpu = events["cpu"]
+        ev_var = events["var"]
+        pstart = events["pstart"]
+        pages_cat = events["pages"]
+        names = events["names"]
+        own_ips = self._iter_event_ips
+        own_i = 0
         ev_i = 0
-        n_events = len(events)
+        n_events = int(ev_step.size)
         for s in range(n_steps):
             trap_by_tid: dict[int, float] = {}
-            while ev_i < n_events and events[ev_i][0] == s:
-                _, tid, cpu, var_name, pages, ip = events[ev_i]
+            while ev_i < n_events and ev_step[ev_i] == s:
+                tid = int(ev_tid[ev_i])
+                cpu = int(ev_cpu[ev_i])
+                var = self.ctx.var(names[int(ev_var[ev_i])])
+                pages = pages_cat[pstart[ev_i] : pstart[ev_i + 1]]
                 ev_i += 1
                 owned = self.owns(tid)
+                if owned:
+                    ip = own_ips[own_i]
+                    own_i += 1
+                else:
+                    ip = None  # never read: attribution is owner-only
                 cost = self._apply_page_event(
-                    tid, cpu, self.ctx.var(var_name), pages, ip,
-                    attribute=owned,
+                    tid, cpu, var, pages, ip, attribute=owned
                 )
                 if owned:
                     trap_by_tid[tid] = cost
@@ -320,7 +416,8 @@ class ShardEngine(ExecutionEngine):
                 st.trap_costs[i] = trap_by_tid.get(t.tid, 0.0)
             rec = memo.record(region_idx, s) if memo is not None else None
             self._classify_phase(
-                step, st, batched=bool(batched_flags[s]), rec=rec
+                step, st, batched=bool(batched_flags[s]), rec=rec,
+                cat=steps.step_addrs(s),
             )
             requests[s] = st.step_requests
             states.append(st)
@@ -599,7 +696,7 @@ def _init_worker(claim_queue, barrier, spec) -> None:
     (
         machine_factory, program_factory, n_threads, binding,
         monitor_factory, params, seed, n_shards, memoize, memo_bytes,
-        schedule, extrapolate, extrap_warmup,
+        schedule, extrapolate, extrap_warmup, use_shm, shm_token,
     ) = spec
     monitor = monitor_factory() if monitor_factory is not None else None
     engine = ShardEngine(
@@ -618,9 +715,22 @@ def _init_worker(claim_queue, barrier, spec) -> None:
         extrapolate=extrapolate,
         extrap_warmup=extrap_warmup,
     )
+    arena = reader = None
+    if use_shm:
+        # Deterministic per-shard segment names: the parent can reap
+        # them by name after an abort even if this process died.
+        arena = ShmArena(worker_segment(shm_token, shard))
+        reader = ArenaReader()
+        engine.arena = arena
+        if engine.memo is not None:
+            engine.memo.on_release = (
+                lambda region_idx: arena.release_pool(("gen", region_idx))
+            )
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard
     _WORKER["barrier"] = barrier
+    _WORKER["arena"] = arena
+    _WORKER["reader"] = reader
 
 
 def _round_task(method: str, args: tuple):
@@ -634,6 +744,11 @@ def _round_task(method: str, args: tuple):
     """
     _WORKER["barrier"].wait(timeout=_BARRIER_TIMEOUT_S)
     engine: ShardEngine = _WORKER["engine"]
+    reader: ArenaReader | None = _WORKER.get("reader")
+    if reader is not None:
+        # Broadcast args may carry descriptors into the parent's arena;
+        # materialize them as zero-copy views (attachments are cached).
+        args = decode_payload(args, reader)
     tr = obs.TRACER
     # finish_run snapshots the telemetry itself, so wrapping it in a
     # span would export that span still open (a dangling B event).
@@ -642,4 +757,12 @@ def _round_task(method: str, args: tuple):
             payload = getattr(engine, method)(*args)
     else:
         payload = getattr(engine, method)(*args)
+    arena: ShmArena | None = _WORKER.get("arena")
+    if arena is not None and method != "finish_run":
+        # The parent consumed the previous round's payload before it
+        # submitted this one, so the outbound pool can be rewound here.
+        # finish_run ships long-lived objects (profiles, telemetry) that
+        # the parent retains past arena teardown — those stay pickled.
+        arena.reset()
+        payload = encode_payload(payload, arena)
     return _WORKER["shard"], payload

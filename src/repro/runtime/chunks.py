@@ -83,6 +83,73 @@ def steps_nbytes(steps) -> int:
     return sum(c.nbytes for step in steps for _, c in step)
 
 
+class StepTrace(list):
+    """A pre-drawn iteration trace with a flat columnar address plane.
+
+    Subclasses the plain step list — each element is the usual
+    ``[(thread, chunk), ...]`` lockstep step, so every existing consumer
+    (memo store, page phase, monitors) iterates it unchanged — and adds
+    one flat column: ``addrs_cat``, the concatenated addresses of every
+    memory chunk in step-major order, with ``step_off[s] : step_off[s+1]``
+    delimiting step ``s``'s slice. After :func:`columnarize_steps` each
+    chunk's ``.addrs`` is a zero-copy view into this buffer, so the
+    classify kernels consume ``step_addrs(s)`` directly instead of
+    re-concatenating per step, and the whole trace can live in one
+    shared-memory segment (the sharded engine allocates the buffer from
+    its arena; see :mod:`repro.runtime.arena`).
+    """
+
+    __slots__ = ("addrs_cat", "step_off")
+
+    def __init__(self, steps, addrs_cat: np.ndarray, step_off: np.ndarray):
+        super().__init__(steps)
+        self.addrs_cat = addrs_cat
+        self.step_off = step_off
+
+    def step_addrs(self, s: int) -> np.ndarray | None:
+        """Step ``s``'s concatenated mem-chunk addresses (mem order)."""
+        if s >= len(self):
+            return None
+        return self.addrs_cat[self.step_off[s] : self.step_off[s + 1]]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.addrs_cat.nbytes + self.step_off.nbytes)
+
+
+def columnarize_steps(steps, alloc=None) -> StepTrace:
+    """Pack a pre-drawn step list into a :class:`StepTrace`.
+
+    Copies every memory chunk's addresses — chunks with a variable and
+    at least one access, in step order then step position order, exactly
+    the order ``_page_phase`` builds ``mem_idx`` in — into one flat
+    int64 buffer and rewrites each ``chunk.addrs`` as a view of its
+    slice. Values are unchanged, so classification is bit-identical;
+    only the memory layout (and the resulting zero-copy step slices)
+    differs. ``alloc(n)`` optionally supplies the destination buffer
+    (``n`` int64 elements) — the sharded engine passes a shared-memory
+    allocator so the trace plane is segment-backed.
+    """
+    mem_chunks: list = []
+    step_off = np.zeros(len(steps) + 1, dtype=np.int64)
+    total = 0
+    for s, step in enumerate(steps):
+        for _, chunk in step:
+            if chunk.var is None or not chunk.n_accesses:
+                continue
+            mem_chunks.append(chunk)
+            total += chunk.n_accesses
+        step_off[s + 1] = total
+    buf = alloc(total) if alloc is not None else np.empty(total, dtype=np.int64)
+    pos = 0
+    for chunk in mem_chunks:
+        n = chunk.addrs.size
+        buf[pos : pos + n] = chunk.addrs
+        chunk.addrs = buf[pos : pos + n]
+        pos += n
+    return StepTrace(steps, buf, step_off)
+
+
 def compute_chunk(n_instructions: int, ip: SourceLoc) -> AccessChunk:
     """A chunk of pure computation (no memory traffic)."""
     return AccessChunk(

@@ -30,7 +30,7 @@ from repro.machine.machine import Machine
 from repro.machine.pagetable import PlacementPolicy
 from repro.units import fast_unique
 from repro.runtime.callstack import CallPath, CallStack
-from repro.runtime.chunks import AccessChunk, steps_nbytes
+from repro.runtime.chunks import AccessChunk, columnarize_steps, steps_nbytes
 from repro.runtime.heap import HeapAllocator, Variable
 from repro.runtime.memo import (
     ClassifyVariant,
@@ -851,15 +851,18 @@ class ExecutionEngine:
                 if steps is not None:
                     for s_idx, step in enumerate(steps):
                         rec = memo.record(region_idx, s_idx)
+                        cat = steps.step_addrs(s_idx)
                         if traced:
                             tr.begin("engine.step", "engine")
                             stats = self._execute_step(
-                                step, region_cycles, overhead_by_tid, rec
+                                step, region_cycles, overhead_by_tid, rec,
+                                cat=cat,
                             )
                             tr.end()
                         else:
                             stats = self._execute_step(
-                                step, region_cycles, overhead_by_tid, rec
+                                step, region_cycles, overhead_by_tid, rec,
+                                cat=cat,
                             )
                         it_instructions += stats["instructions"]
                         it_accesses += stats["accesses"]
@@ -1041,10 +1044,8 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _draw_steps(
-        active: list[SimThread], iters: dict
-    ) -> list[list[tuple[SimThread, AccessChunk]]]:
-        """Drain the iteration's kernels into a step list (lockstep order).
+    def _draw_steps(active: list[SimThread], iters: dict):
+        """Drain the iteration's kernels into a :class:`StepTrace`.
 
         Generator consumption order is exactly the interleaved execution
         loop's, so pre-drawing changes nothing for deterministic kernels
@@ -1064,7 +1065,9 @@ class ExecutionEngine:
             if not step:
                 break
             steps.append(step)
-        return steps
+        # Pack the trace's addresses into one flat column so classify
+        # reads each step's concatenation in place (values unchanged).
+        return columnarize_steps(steps)
 
     def _execute_step(
         self,
@@ -1072,6 +1075,7 @@ class ExecutionEngine:
         region_cycles: dict[int, float],
         overhead_by_tid: np.ndarray,
         rec=None,
+        cat: np.ndarray | None = None,
     ) -> dict:
         """Run one lockstep set of chunks through the memory system.
 
@@ -1107,7 +1111,7 @@ class ExecutionEngine:
             tr.end()
             tr.begin("engine.classify", "engine")
 
-        self._classify_phase(step, st, rec=rec)
+        self._classify_phase(step, st, rec=rec, cat=cat)
 
         if traced:
             if st.mem_idx:
@@ -1235,6 +1239,7 @@ class ExecutionEngine:
         st: _StepMem,
         batched: bool | None = None,
         rec=None,
+        cat: np.ndarray | None = None,
     ) -> None:
         """Classification / placement (batched or per-chunk summary).
 
@@ -1244,13 +1249,16 @@ class ExecutionEngine:
         record (``rec``), cached pure products and epoch/levels-keyed
         variants replace recomputation — the reuse-distance lookup still
         runs live every iteration (see :mod:`repro.runtime.memo`).
+        ``cat`` optionally carries the step's pre-concatenated mem-chunk
+        addresses from the columnar trace (:class:`StepTrace`) — same
+        values the per-chunk concatenation would produce, read in place.
         """
         machine = self.machine
         page_size = machine.page_size
         n_domains = machine.n_domains
         n_mem = len(st.mem_idx)
         if rec is not None and n_mem:
-            self._classify_memo(step, st, batched, rec)
+            self._classify_memo(step, st, batched, rec, cat)
             return
         st.step_requests = np.zeros(n_domains, dtype=np.int64)
         st.chunk_levels = [None] * n_mem
@@ -1273,7 +1281,10 @@ class ExecutionEngine:
         if batched:
             starts = st.starts = np.zeros(n_mem + 1, dtype=np.int64)
             np.cumsum(lengths, out=starts[1:])
-            addrs_cat = np.concatenate([c.addrs for _, c in mem])
+            if cat is not None and cat.size == int(starts[-1]):
+                addrs_cat = cat
+            else:
+                addrs_cat = np.concatenate([c.addrs for _, c in mem])
             st.cls, st.targets_cat = machine.classify_step(
                 addrs_cat,
                 starts,
@@ -1316,6 +1327,7 @@ class ExecutionEngine:
         st: _StepMem,
         batched: bool | None,
         rec,
+        cat: np.ndarray | None = None,
     ) -> None:
         """Memoized classification: pure products + epoch-keyed variants.
 
@@ -1334,7 +1346,7 @@ class ExecutionEngine:
             memo.hit()
         else:
             memo.miss()
-            pure = self._build_pure(step, st, batched)
+            pure = self._build_pure(step, st, batched, cat)
             rec.pure = pure
             memo.charge(rec, pure.nbytes)
         st.mem = pure.mem
@@ -1381,6 +1393,7 @@ class ExecutionEngine:
         step: list[tuple[SimThread, AccessChunk]],
         st: _StepMem,
         batched: bool | None,
+        cat: np.ndarray | None = None,
     ) -> PureStep:
         """Compute one step's iteration-invariant products (memo miss)."""
         machine = self.machine
@@ -1406,7 +1419,15 @@ class ExecutionEngine:
         if batched:
             starts = pure.starts = np.zeros(n_mem + 1, dtype=np.int64)
             np.cumsum(lengths, out=starts[1:])
-            addrs_cat = np.concatenate([c.addrs for _, c in mem])
+            if cat is not None and cat.size == int(starts[-1]):
+                # Columnar trace slice: the concatenation already exists
+                # (chunk addrs are views of it) — retain it for the
+                # variant builder; its bytes are the gen trace's, so the
+                # memo does not charge them again.
+                addrs_cat = cat
+                pure.addrs_cat = cat
+            else:
+                addrs_cat = np.concatenate([c.addrs for _, c in mem])
             fp = machine.cache.step_fetch_products(
                 addrs_cat, starts, self._scratch
             )
@@ -1457,11 +1478,13 @@ class ExecutionEngine:
         mem = pure.mem
         starts = pure.starts
         n = int(starts[-1])
-        addrs_cat = self._scratch.get("addrs_cat", n, np.int64)
-        pos = 0
-        for _, c in mem:
-            addrs_cat[pos : pos + c.addrs.size] = c.addrs
-            pos += c.addrs.size
+        addrs_cat = pure.addrs_cat
+        if addrs_cat is None:
+            addrs_cat = self._scratch.get("addrs_cat", n, np.int64)
+            pos = 0
+            for _, c in mem:
+                addrs_cat[pos : pos + c.addrs.size] = c.addrs
+                pos += c.addrs.size
         pages = self._scratch.get("pages", n, np.int64)
         np.floor_divide(addrs_cat, machine.page_size, out=pages)
         targets = var.targets_cat = np.empty(n, dtype=np.int64)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.machine import presets
@@ -12,6 +14,14 @@ from repro.runtime.callstack import SourceLoc
 from repro.runtime.chunks import sweep_chunk
 from repro.runtime.program import Region, RegionKind
 from repro.sampling import IBS
+
+
+def pytest_collection_modifyitems(config, items):
+    """With ``REPRO_REVERSE_TESTS=1``, run the suite in reverse collection
+    order — CI uses it as a cheap detector for test-order dependence
+    (leaked module globals, fixtures that only pass after a sibling)."""
+    if os.environ.get("REPRO_REVERSE_TESTS") == "1":
+        items.reverse()
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,161 @@
+"""Unit tests for the shared-memory columnar arena (owner/reader/codec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import arena
+from repro.runtime.arena import (
+    ArenaReader,
+    ArrayRef,
+    ShmArena,
+    decode_payload,
+    encode_payload,
+    force_unlink,
+    list_segments,
+    run_token,
+    shm_available,
+    worker_segment,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="host has no POSIX shared memory"
+)
+
+
+@pytest.fixture
+def owned():
+    """An arena plus reader, both torn down (and leak-checked) at exit."""
+    token = run_token()
+    a = ShmArena(token)
+    r = ArenaReader()
+    yield a, r, token
+    r.close()
+    a.destroy()
+    assert [n for n in list_segments() if n.startswith(token)] == []
+
+
+class TestArena:
+    def test_put_get_roundtrip(self, owned):
+        a, r, _ = owned
+        src = np.arange(10_000, dtype=np.int64)
+        ref = a.put(src)
+        assert ArrayRef.is_ref(ref)
+        got = r.get(ref)
+        assert np.array_equal(got, src)
+        assert not got.flags.writeable
+
+    def test_alloc_array_fills_in_place(self, owned):
+        a, r, _ = owned
+        view, ref = a.alloc_array(4_096, np.float64)
+        view[:] = 2.5
+        got = r.get(ref)
+        assert got.shape == (4_096,)
+        assert float(got.sum()) == 2.5 * 4_096
+
+    def test_reset_reuses_segments(self, owned):
+        a, r, _ = owned
+        a.put(np.zeros(1_000, dtype=np.int64))
+        mapped = a.pool_bytes()
+        for _ in range(16):
+            a.reset()
+            a.put(np.zeros(1_000, dtype=np.int64))
+        assert a.pool_bytes() == mapped  # rewound, not regrown
+
+    def test_large_allocation_grows_segment(self, owned):
+        a, r, _ = owned
+        big = np.zeros(arena.DEFAULT_SEGMENT_BYTES // 8 + 1, dtype=np.int64)
+        got = r.get(a.put(big))
+        assert got.nbytes == big.nbytes
+
+    def test_pools_are_independent(self, owned):
+        a, r, _ = owned
+        ref_keep = a.put(np.arange(512, dtype=np.int64), pool=("gen", 0))
+        a.put(np.zeros(512, dtype=np.int64), pool="round")
+        a.reset("round")  # must not disturb the gen pool
+        assert np.array_equal(r.get(ref_keep), np.arange(512))
+
+    def test_release_pool_unlinks_only_that_pool(self, owned):
+        a, r, token = owned
+        a.put(np.zeros(512, dtype=np.int64), pool=("gen", 0))
+        keep = a.put(np.arange(512, dtype=np.int64), pool="round")
+        before = {n for n in list_segments() if n.startswith(token)}
+        a.release_pool(("gen", 0))
+        after = {n for n in list_segments() if n.startswith(token)}
+        assert after < before
+        # A fresh reader can still see the surviving pool's bytes.
+        r2 = ArenaReader()
+        try:
+            assert np.array_equal(r2.get(keep), np.arange(512))
+        finally:
+            r2.close()
+
+    def test_destroy_is_idempotent_and_rejects_alloc(self, owned):
+        a, _, _ = owned
+        a.put(np.zeros(512, dtype=np.int64))
+        a.destroy()
+        a.destroy()
+        with pytest.raises(RuntimeError):
+            a.alloc(64)
+
+
+class TestCodec:
+    def test_identity_without_arena(self):
+        payload = {"x": np.arange(4), "y": [1, (2, 3)]}
+        assert encode_payload(payload, None) is payload
+        dec = decode_payload(payload, None)
+        assert dec["x"] is payload["x"]  # arrays pass through untouched
+        assert dec["y"] == payload["y"]
+
+    def test_small_arrays_stay_inline(self, owned):
+        a, r, _ = owned
+        small = np.arange(4, dtype=np.int64)  # < MIN_SHM_ARRAY_BYTES
+        enc = encode_payload({"s": small}, a)
+        assert enc["s"] is small
+
+    def test_nested_structures_roundtrip(self, owned):
+        a, r, _ = owned
+        payload = {
+            "cols": {
+                "step": np.arange(1_000, dtype=np.int64),
+                "names": ["a", "b"],
+            },
+            "tuples": (np.ones(1_000), 7, "str"),
+            "list": [np.zeros(1_000, dtype=np.int32)],
+        }
+        dec = decode_payload(encode_payload(payload, a), r)
+        assert np.array_equal(dec["cols"]["step"], payload["cols"]["step"])
+        assert dec["cols"]["names"] == ["a", "b"]
+        assert np.array_equal(dec["tuples"][0], payload["tuples"][0])
+        assert dec["tuples"][1:] == (7, "str")
+        assert np.array_equal(dec["list"][0], payload["list"][0])
+
+    def test_decode_without_reader_raises(self, owned):
+        a, _, _ = owned
+        ref = a.put(np.arange(1_000, dtype=np.int64))
+        with pytest.raises(RuntimeError):
+            decode_payload(ref, None)
+
+
+class TestCleanup:
+    def test_force_unlink_reaps_abandoned_segments(self):
+        token = run_token()
+        name = worker_segment(token, 0)
+        # Simulate a worker that died owning segments: create, don't
+        # destroy (suppress the GC safety net by dropping the pools).
+        a = ShmArena(name)
+        a.put(np.arange(1_000, dtype=np.int64))
+        a._pools.clear()
+        a._closed = True
+        assert any(n.startswith(name) for n in list_segments())
+        removed = force_unlink(name)
+        assert removed >= 1
+        assert not any(n.startswith(name) for n in list_segments())
+
+    def test_force_unlink_on_missing_is_noop(self):
+        assert force_unlink(worker_segment(run_token(), 3)) == 0
+
+    def test_worker_segment_names_are_deterministic(self):
+        assert worker_segment("tok", 2) == "tok-w2"
+        assert worker_segment("tok", 2) == worker_segment("tok", 2)

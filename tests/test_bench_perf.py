@@ -90,6 +90,58 @@ class TestCompare:
         )
         assert res["missing"] == sorted(set(res["missing"]))
 
+    def test_sub_floor_wall_is_unreliable_not_regression(self):
+        """A huge throughput drop measured over a few milliseconds of
+        wall must be flagged unreliable, never gated as a regression."""
+        current = fake_doc({"w": 5.0})
+        baseline = fake_doc({"w": 100.0})
+        for doc in (current, baseline):
+            for entry in doc["workloads"].values():
+                for mode in entry.values():
+                    mode["wall_s"] = perf.MIN_RELIABLE_WALL_S / 10.0
+            for mode in doc["totals"].values():
+                mode["wall_s"] = perf.MIN_RELIABLE_WALL_S / 10.0
+        res = perf.compare(current, baseline, threshold=0.2)
+        assert res["ok"]
+        assert res["regressions"] == []
+        assert any(
+            "unreliable: wall below floor" in line
+            for line in res["unreliable"]
+        )
+        # The ratio is still recorded for humans reading the JSON.
+        assert res["speedups"]["workloads"]["w"]["engine_only"] == 0.05
+
+    def test_one_sub_floor_side_is_enough_to_skip_gating(self):
+        current = fake_doc({"w": 5.0})
+        baseline = fake_doc({"w": 100.0})
+        # Only the baseline walls are below the floor.
+        for entry in baseline["workloads"].values():
+            for mode in entry.values():
+                mode["wall_s"] = 0.001
+        for mode in baseline["totals"].values():
+            mode["wall_s"] = 0.001
+        for entry in current["workloads"].values():
+            for mode in entry.values():
+                mode["wall_s"] = 1.0
+        for mode in current["totals"].values():
+            mode["wall_s"] = 1.0
+        res = perf.compare(current, baseline, threshold=0.2)
+        assert res["ok"]
+        assert res["unreliable"]
+
+    def test_above_floor_walls_still_gate(self):
+        current = fake_doc({"w": 70.0})
+        baseline = fake_doc({"w": 100.0})
+        for doc in (current, baseline):
+            for entry in doc["workloads"].values():
+                for mode in entry.values():
+                    mode["wall_s"] = 1.0
+            for mode in doc["totals"].values():
+                mode["wall_s"] = 1.0
+        res = perf.compare(current, baseline, threshold=0.2)
+        assert not res["ok"]
+        assert res["unreliable"] == []
+
 
 class TestMissingWarnings:
     def test_groups_same_suffix_across_workloads(self):
@@ -227,9 +279,43 @@ class TestMain:
         assert "ignoring baseline" in printed
         assert "comparison" not in json.loads(out.read_text())
 
-    def test_check_mode_records_and_compares(self, tmp_path, capsys):
+    def test_check_mode_records_and_compares(self, tmp_path, capsys,
+                                             monkeypatch):
         """--check uses the smoke scale/threshold and exits 0 against a
-        fresh self-recorded baseline."""
+        fresh self-recorded baseline.
+
+        Timing is injected: every ``perf`` timing site reads a
+        deterministic clock that advances a fixed tick per call, so both
+        runs report identical walls and the comparison is exact. The old
+        version ratioed real sub-10ms smoke walls, which flaked whenever
+        the host scheduler stretched one of them. The overhead
+        estimators are stubbed for the same reason — under a fixed-tick
+        clock their microbenchmarks measure the tick, not the code.
+        """
+        t = [0.0]
+
+        def fake_clock():
+            t[0] += 0.0625  # power of two: exact float arithmetic
+            return t[0]
+
+        monkeypatch.setattr(perf, "_clock", fake_clock)
+        monkeypatch.setattr(
+            perf, "measure_noop_overhead",
+            lambda **kw: {
+                "wall_s": 0.0625, "instrumentation_sites": 1_000,
+                "per_site_s": 1e-9, "estimated_overhead_s": 1e-6,
+                "overhead_pct": 0.001,
+            },
+        )
+        monkeypatch.setattr(
+            perf, "measure_metrics_overhead",
+            lambda *a, **kw: {
+                "wall_s": 0.0625, "n_samples": 10, "per_sample_s": 1e-9,
+                "estimated_overhead_s": 1e-8,
+                "estimated_overhead_pct": 0.001,
+                "measured_delta_pct": 0.0,
+            },
+        )
         base = tmp_path / "smoke_base.json"
         rc = perf.main(
             [
@@ -255,6 +341,11 @@ class TestMain:
         assert rc == 0
         doc = json.loads(out.read_text())
         assert doc["comparison"]["threshold"] == perf.SMOKE_THRESHOLD
+        assert doc["comparison"]["ok"]
+        # Identical deterministic walls and a deterministic simulation:
+        # every recorded ratio is exactly 1.0, run after run.
+        assert doc["comparison"]["speedups"]["totals"]["engine_only"] == 1.0
+        assert doc["comparison"]["speedups"]["totals"]["monitored"] == 1.0
 
     def test_check_mode_gates_noop_overhead(self, tmp_path, capsys):
         out = tmp_path / "smoke.json"
