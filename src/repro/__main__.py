@@ -171,6 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="K",
                         help="steady iterations observed before "
                         "extrapolation arms (default 2)")
+    parser.add_argument("--extrap-period", type=int, default=4,
+                        metavar="P",
+                        help="longest phase cycle the detector searches "
+                        "for (default 4; 1 = fixed points only)")
+    parser.add_argument("--extrap-disarm", type=int, default=3,
+                        metavar="M",
+                        help="non-converging detection windows before "
+                        "the phase detector disarms to a cheap epoch "
+                        "check (default 3; 0 = never disarm)")
+    parser.add_argument("--no-extrap-share", action="store_true",
+                        help="disable the cross-region phase library "
+                        "(each region converges on its own)")
     parser.add_argument("--top", type=int, default=6,
                         help="variables to show in the data-centric view")
     parser.add_argument("--var", default=None,
@@ -244,6 +256,16 @@ def _print_phase_summary(report: dict | None) -> None:
         line += f"; declared eps = {report['epsilon']:.3g}"
     if report["breaks"]:
         line += f"; {report['breaks']} phase break(s)"
+    period = max(
+        (r.get("period", 0) for r in report.get("regions", {}).values()),
+        default=0,
+    )
+    if period > 1:
+        line += f"; longest cycle period {period}"
+    if report.get("library_hits"):
+        line += f"; {report['library_hits']} phase-library hit(s)"
+    if report.get("disarms"):
+        line += f"; detector disarmed {report['disarms']}x"
     print(line + "\n")
 
 
@@ -266,6 +288,14 @@ def _run(args: argparse.Namespace) -> int:
     if args.extrap_warmup < 1:
         raise UsageError(
             f"--extrap-warmup must be at least 1, got {args.extrap_warmup}"
+        )
+    if args.extrap_period < 1:
+        raise UsageError(
+            f"--extrap-period must be at least 1, got {args.extrap_period}"
+        )
+    if args.extrap_disarm < 0:
+        raise UsageError(
+            f"--extrap-disarm must be >= 0, got {args.extrap_disarm}"
         )
 
     kwargs = {"max_rate": 2e6} if mech_name == "MRK" else {}
@@ -294,6 +324,9 @@ def _run(args: argparse.Namespace) -> int:
     memo_bytes = int(DEFAULT_MEMO_BYTES * max(1.0, args.scale))
     extrap_kwargs = {
         "extrapolate": extrapolate, "extrap_warmup": args.extrap_warmup,
+        "extrap_period": args.extrap_period,
+        "extrap_disarm": args.extrap_disarm,
+        "extrap_share": not args.no_extrap_share,
         "memo_bytes": memo_bytes,
     }
     with tr.span("cli.baseline_run", "harness"):
@@ -352,6 +385,7 @@ def _run(args: argparse.Namespace) -> int:
             mech_name=mech_name, period=period, archive=archive,
             analysis=analysis, baseline=baseline, monitored=monitored,
             host_wall_s=host_wall_s, tracer=tr,
+            phase_report=getattr(engine, "phase_report", None),
         )
     if args.report:
         from repro.analysis import full_report
@@ -393,7 +427,7 @@ def _run(args: argparse.Namespace) -> int:
 def _record_run(
     args: argparse.Namespace, *, preset_name: str, threads: int,
     mech_name: str, period: int, archive, analysis, baseline, monitored,
-    host_wall_s: float, tracer,
+    host_wall_s: float, tracer, phase_report=None,
 ) -> None:
     """Archive the run in the registry (manifest + profile + series)."""
     from repro.registry import RunRegistry, build_manifest
@@ -404,6 +438,13 @@ def _record_run(
         "chunks": monitored.total_chunks,
         "accesses": monitored.total_accesses,
     }
+    if phase_report:
+        # Headline coverage whenever extrapolation ran, so
+        # ``repro runs timeline`` can sparkline it across runs with or
+        # without the metrics plane.
+        headline["phase_coverage_pct"] = phase_report.get(
+            "coverage_pct", 0.0
+        )
     metrics = getattr(tracer, "metrics", None)
     if args.metrics and metrics is not None and metrics.n_samples:
         last = metrics.last_values()

@@ -139,6 +139,31 @@ def _timed_run(
     return _clock() - t0, result, engine
 
 
+#: Repeats for the walls entering ``extrap_speedup``: the monitored and
+#: extrapolated runs are a few hundred ms each, where one scheduler
+#: hiccup swings their ratio across the 1.0x line.
+SPEEDUP_REPEATS = 3
+
+
+def _best_of(
+    repeats, machine_factory, program_factory, threads,
+    monitor_factory=None, extrapolate=False,
+):
+    """Minimum wall over ``repeats`` fresh runs (min defeats scheduler
+    noise). Simulated results are deterministic across repeats, so the
+    last run's result and engine serve for stats and reports."""
+    best_wall = None
+    for _ in range(repeats):
+        wall, result, engine = _timed_run(
+            machine_factory, program_factory, threads,
+            monitor=monitor_factory() if monitor_factory else None,
+            extrapolate=extrapolate,
+        )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return best_wall, result, engine
+
+
 def _memo_stats(engine) -> dict:
     """The engine memo's counters for the results JSON (zeros when off)."""
     if engine.memo is None:
@@ -231,13 +256,17 @@ def run_perf(
             ),
             memoize=False,
         )
-        mon_s, mon_res, mon_eng = _timed_run(
-            machine_factory, factory, threads,
-            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        mon_s, mon_res, mon_eng = _best_of(
+            SPEEDUP_REPEATS, machine_factory, factory, threads,
+            monitor_factory=lambda: NumaProfiler(
+                create_mechanism(mechanism, period)
+            ),
         )
-        ext_s, ext_res, ext_eng = _timed_run(
-            machine_factory, factory, threads,
-            monitor=NumaProfiler(create_mechanism(mechanism, period)),
+        ext_s, ext_res, ext_eng = _best_of(
+            SPEEDUP_REPEATS, machine_factory, factory, threads,
+            monitor_factory=lambda: NumaProfiler(
+                create_mechanism(mechanism, period)
+            ),
             extrapolate=True,
         )
         report = ext_eng.phase_report or {}
@@ -249,6 +278,23 @@ def run_perf(
                 extrap_speedup=mon_s / ext_s if ext_s > 0 else 0.0,
                 phase_coverage_pct=report.get("coverage_pct", 0.0),
                 epsilon=report.get("epsilon", 0.0),
+                phase_period=max(
+                    (r.get("period", 0)
+                     for r in report.get("regions", {}).values()),
+                    default=0,
+                ),
+                phase_disarms=report.get("disarms", 0),
+                phase_library_hits=report.get("library_hits", 0),
+                phase_coverage_by_region={
+                    rname: {
+                        "coverage_pct": r.get("coverage_pct", 0.0),
+                        "period": r.get("period", 0),
+                        "disarms": r.get("disarms", 0),
+                        "library_hits": r.get("library_hits", 0),
+                        "breaks": r.get("breaks", 0),
+                    }
+                    for rname, r in report.get("regions", {}).items()
+                },
             ),
             "engine_only_no_memo": {"wall_s": base_nm_s},
             "monitored_no_memo": {"wall_s": mon_nm_s},
